@@ -1,0 +1,351 @@
+package chirp
+
+// The benchmarks below regenerate every table and figure of the
+// paper's evaluation at a reduced scale (suite prefix + shorter
+// traces) and publish the headline numbers as custom benchmark
+// metrics, so `go test -bench=.` doubles as the reproduction harness:
+//
+//	BenchmarkFig7MPKI            …  chirp_red_% / srrip_red_% / …
+//	BenchmarkFig8Speedup         …  chirp_speedup_%
+//	BenchmarkFig9TableSize       …  red_1KB_% …
+//
+// cmd/chirpexp runs the same experiments at full scale.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/chirplab/chirp/internal/core"
+	"github.com/chirplab/chirp/internal/experiments"
+	"github.com/chirplab/chirp/internal/policy"
+	"github.com/chirplab/chirp/internal/sim"
+	"github.com/chirplab/chirp/internal/tlb"
+	"github.com/chirplab/chirp/internal/trace"
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+// benchOptions is the reduced scale every experiment benchmark uses.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Workloads:    24,
+		Instructions: 400_000,
+		WalkPenalty:  150,
+	}
+}
+
+// tinyOptions is for the expensive multi-sweep experiments.
+func tinyOptions() experiments.Options {
+	return experiments.Options{
+		Workloads:    8,
+		Instructions: 250_000,
+		WalkPenalty:  150,
+	}
+}
+
+func BenchmarkFig1TLBEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.AvgGainPct["chirp"], "chirp_eff_gain_%")
+		b.ReportMetric(r.AvgGainPct["random"], "random_eff_gain_%")
+	}
+}
+
+func BenchmarkFig2HistoryLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(tinyOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Points[len(r.Points)-1]
+		b.ReportMetric(last.PathOnlyPct, "pathonly_len40_%")
+		b.ReportMetric(last.CombinedPct, "combined_len40_%")
+	}
+}
+
+func BenchmarkFig3Adaline(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = 8
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.MeanSalience) > 1 {
+			b.ReportMetric(r.MeanSalience[0], "bit2_salience")
+			b.ReportMetric(r.MeanSalience[1], "bit3_salience")
+		}
+	}
+}
+
+func BenchmarkFig6Ablation(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = 16
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range r.Variants {
+			switch v.Name {
+			case "ship", "chirp-pc", "chirp":
+				b.ReportMetric(v.ReductionPct, v.Name+"_red_%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7MPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range r.Averages {
+			b.ReportMetric(a.ReductionPct, a.Policy+"_red_%")
+		}
+		b.ReportMetric(r.BestReductionPct, "best_red_%")
+	}
+}
+
+func BenchmarkFig8Speedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.GeoMeanPct["chirp"], "chirp_speedup_%")
+		b.ReportMetric(r.GeoMeanPct["srrip"], "srrip_speedup_%")
+	}
+}
+
+func BenchmarkFig9TableSize(b *testing.B) {
+	o := benchOptions()
+	o.Workloads = 16
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range r.Points {
+			if p.Bytes == 128 || p.Bytes == 1024 || p.Bytes == 8192 {
+				b.ReportMetric(p.ReductionPct, "red_"+itoa(p.Bytes)+"B_%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10PenaltySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(tinyOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := r.Points[0], r.Points[len(r.Points)-1]
+		b.ReportMetric(first.GeoMeanPct["chirp"], "chirp_at20_%")
+		b.ReportMetric(last.GeoMeanPct["chirp"], "chirp_at340_%")
+	}
+}
+
+func BenchmarkFig11TableAccessRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range r.Densities {
+			b.ReportMetric(d.Mean*100, d.Name+"_rate_%")
+		}
+	}
+}
+
+func BenchmarkTable1Storage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Configs[1].TotalBytes/1024, "main_cfg_KB")
+	}
+}
+
+func BenchmarkTable2Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2(benchOptions(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptUpperBound(b *testing.B) {
+	o := tinyOptions()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.OptBound(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OptReductionPct, "opt_red_%")
+	}
+}
+
+func BenchmarkRadixWalker(b *testing.B) {
+	o := tinyOptions()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Walker(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.RadixAvgWalk, "avg_walk_cycles")
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func BenchmarkCHiRPSignature(b *testing.B) {
+	p := core.MustNew(core.DefaultConfig())
+	p.Attach(128, 8)
+	for i := 0; i < 64; i++ {
+		p.OnBranch(uint64(i)<<4, i%2 == 0, i%3 == 0, true, 0)
+	}
+	b.ResetTimer()
+	var sink uint16
+	for i := 0; i < b.N; i++ {
+		sink = p.Signature(uint64(i) << 2)
+	}
+	_ = sink
+}
+
+func BenchmarkTLBLookupHit(b *testing.B) {
+	tl, err := tlb.New(tlb.Config{Name: "b", Entries: 1024, Ways: 8, PageShift: 12}, policy.NewLRU())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := tlb.Access{PC: 0x1000, VPN: 42}
+	tl.Lookup(&a)
+	tl.Insert(&a, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Lookup(&a)
+	}
+}
+
+func BenchmarkTLBLookupCHiRP(b *testing.B) {
+	tl, err := tlb.New(tlb.Config{Name: "b", Entries: 1024, Ways: 8, PageShift: 12}, core.MustNew(core.DefaultConfig()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := tlb.Access{PC: 0x1000, VPN: 42}
+	tl.Lookup(&a)
+	tl.Insert(&a, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.VPN = uint64(i) & 1023 // mixed sets exercise the full path
+		if _, hit := tl.Lookup(&a); !hit {
+			tl.Insert(&a, a.VPN)
+		}
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	w := workloads.ByName("db-003")
+	src := workloads.NewGenerator(w.Program())
+	var rec trace.Record
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Next(&rec)
+	}
+}
+
+func BenchmarkTLBOnlySimThroughput(b *testing.B) {
+	w := workloads.ByName("db-003")
+	cfg := sim.DefaultTLBOnlyConfig(0)
+	cfg.WarmupFraction = 0
+	b.ResetTimer()
+	total := uint64(0)
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunTLBOnly(trace.NewLimit(w.Source(), 500_000), policy.NewLRU(), sim.DefaultTLBOnlyConfig(500_000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.Instructions
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func BenchmarkExtendedBaselines(b *testing.B) {
+	o := tinyOptions()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Baselines(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range r.Averages {
+			switch a.Policy {
+			case "sdbp", "drrip", "perceptron":
+				b.ReportMetric(a.ReductionPct, a.Policy+"_red_%")
+			}
+		}
+	}
+}
+
+func BenchmarkMixedPageSizes(b *testing.B) {
+	o := tinyOptions()
+	o.Workloads = 6
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Mixed(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanReductionPct, "mpki_red_%")
+		b.ReportMetric(r.ReachSavedPct, "reach_saved_%")
+	}
+}
+
+func BenchmarkConsolidated(b *testing.B) {
+	ws := workloads.SuiteN(4)
+	cfg := sim.DefaultConsolidatedConfig(300_000)
+	for i := 0; i < b.N; i++ {
+		lru, err := sim.RunConsolidated(ws, policy.NewLRU(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, err := sim.RunConsolidated(ws, core.MustNew(core.DefaultConfig()), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lru.MPKI > 0 {
+			b.ReportMetric((lru.MPKI-ch.MPKI)/lru.MPKI*100, "chirp_red_%")
+		}
+	}
+}
+
+func BenchmarkPrefetchCompose(b *testing.B) {
+	o := tinyOptions()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Prefetch(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			if row.Distance == 4 {
+				b.ReportMetric(row.MeanMPKI, row.Policy+"_d4_mpki")
+			}
+		}
+	}
+}

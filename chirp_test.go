@@ -1,0 +1,134 @@
+package chirp
+
+import "testing"
+
+func TestSuiteAccess(t *testing.T) {
+	if len(Suite()) != SuiteSize {
+		t.Fatalf("Suite() size = %d, want %d", len(Suite()), SuiteSize)
+	}
+	if w := WorkloadByName("db-000"); w == nil || w.Category != "db" {
+		t.Fatalf("WorkloadByName(db-000) = %+v", w)
+	}
+	if len(SuiteN(16)) != 16 {
+		t.Fatal("SuiteN(16) wrong length")
+	}
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name)
+		if err != nil {
+			t.Fatalf("NewPolicy(%s): %v", name, err)
+		}
+		if p == nil {
+			t.Fatalf("NewPolicy(%s) returned nil", name)
+		}
+	}
+	pp := PaperPolicies()
+	if len(pp) != 6 || pp[0] != "lru" || pp[5] != "chirp" {
+		t.Errorf("PaperPolicies() = %v", pp)
+	}
+	// PaperPolicies must return a copy.
+	pp[0] = "mutated"
+	if PaperPolicies()[0] != "lru" {
+		t.Error("PaperPolicies() aliases internal state")
+	}
+}
+
+func TestMeasureMPKIThroughFacade(t *testing.T) {
+	w := WorkloadByName("spec-000")
+	p, err := NewPolicy("chirp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureMPKI(w.Source(), p, 150_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MPKI < 0 || res.Instructions == 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+}
+
+func TestMeasureTimingThroughFacade(t *testing.T) {
+	w := WorkloadByName("spec-000")
+	res, err := MeasureTiming(w.Source(), NewLRU(), 150_000, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 || res.IPC > 1 {
+		t.Fatalf("IPC = %v", res.IPC)
+	}
+}
+
+func TestCompareMPKI(t *testing.T) {
+	w := WorkloadByName("db-000")
+	cs, err := CompareMPKI(w, []string{"lru", "srrip", "chirp"}, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("comparisons = %d, want 3", len(cs))
+	}
+	if cs[0].Policy != "lru" || cs[0].ReductionPct != 0 {
+		t.Errorf("baseline row wrong: %+v", cs[0])
+	}
+	if _, err := CompareMPKI(nil, []string{"lru"}, 1000); err == nil {
+		t.Error("nil workload accepted")
+	}
+	if _, err := CompareMPKI(w, []string{"bogus"}, 1000); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestCHiRPConstruction(t *testing.T) {
+	cfg := DefaultCHiRPConfig()
+	p, err := NewCHiRP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "chirp" {
+		t.Errorf("name = %q", p.Name())
+	}
+	s := CHiRPStorage(cfg, 1024)
+	if s.TotalBytes() != 3224 {
+		t.Errorf("storage = %v bytes, want 3224", s.TotalBytes())
+	}
+	cfg.TableEntries = 3
+	if _, err := NewCHiRP(cfg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestCustomPolicyViaPublicInterface(t *testing.T) {
+	// A user-defined policy must be pluggable through the facade (the
+	// examples/custompolicy flow).
+	w := WorkloadByName("crypto-000")
+	res, err := MeasureMPKI(w.Source(), &fifo{}, 120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 {
+		t.Fatal("custom policy run produced nothing")
+	}
+}
+
+// fifo is a minimal user-defined policy against the public interface.
+type fifo struct {
+	next []int
+	ways int
+}
+
+func (*fifo) Name() string { return "user-fifo" }
+func (f *fifo) Attach(sets, ways int) {
+	f.next = make([]int, sets)
+	f.ways = ways
+}
+func (*fifo) OnAccess(*Access)           {}
+func (*fifo) OnHit(uint32, int, *Access) {}
+func (f *fifo) Victim(set uint32, _ *Access) int {
+	w := f.next[set]
+	f.next[set] = (w + 1) % f.ways
+	return w
+}
+func (*fifo) OnInsert(uint32, int, *Access) {}

@@ -1,0 +1,204 @@
+// Command chirpexp regenerates the paper's evaluation artifacts: every
+// figure and table of §VI plus this reproduction's extensions.
+//
+//	chirpexp -exp fig7 -n 870 -instr 2000000
+//	chirpexp -exp all  -n 128 -instr 1000000
+//
+// Experiments: fig1 fig2 fig3 fig6 fig7 fig8 fig9 fig10 fig11 table1
+// table2, the extensions opt walker baselines mixed consolidated
+// prefetch, or all. MPKI experiments default to the full suite; timing
+// experiments are much slower, so scale -n down (the shapes stabilise
+// quickly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/chirplab/chirp/internal/experiments"
+)
+
+type runner struct {
+	name string
+	desc string
+	run  func(experiments.Options) error
+}
+
+func main() {
+	exp := flag.String("exp", "fig7", "experiment id (or comma list, or 'all')")
+	n := flag.Int("n", 0, "suite prefix size (0 = full 870-workload suite)")
+	instr := flag.Uint64("instr", 2_000_000, "instructions per trace")
+	penalty := flag.Uint64("penalty", 150, "L2 TLB miss penalty in cycles for timing experiments")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	o := experiments.Options{
+		Workloads:    *n,
+		Instructions: *instr,
+		WalkPenalty:  *penalty,
+		Workers:      *workers,
+	}
+
+	out := os.Stdout
+	runners := []runner{
+		{"fig1", "TLB efficiency heat map (§VI-D)", func(o experiments.Options) error {
+			r, err := experiments.Fig1(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"fig2", "speedup vs PC history length (§III)", func(o experiments.Options) error {
+			r, err := experiments.Fig2(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"fig3", "ADALINE PC-bit salience (§III-A)", func(o experiments.Options) error {
+			r, err := experiments.Fig3(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"fig6", "feature/optimisation ablation (§III)", func(o experiments.Options) error {
+			r, err := experiments.Fig6(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"fig7", "MPKI S-curve and averages (§VI-A)", func(o experiments.Options) error {
+			r, err := experiments.Fig7(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"fig8", "speedup at the headline walk penalty (§VI-C)", func(o experiments.Options) error {
+			r, err := experiments.Fig8(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"fig9", "prediction-table size sweep (§VI-F)", func(o experiments.Options) error {
+			r, err := experiments.Fig9(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"fig10", "speedup vs walk penalty (§VI-C)", func(o experiments.Options) error {
+			r, err := experiments.Fig10(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"fig11", "prediction-table access-rate density (§VI-B)", func(o experiments.Options) error {
+			r, err := experiments.Fig11(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"table1", "CHiRP storage budget", func(o experiments.Options) error {
+			r, err := experiments.Table1(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"table2", "simulation parameters", func(o experiments.Options) error {
+			return experiments.Table2(o, out)
+		}},
+		{"opt", "Bélády OPT upper bound (extension X1)", func(o experiments.Options) error {
+			r, err := experiments.OptBound(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"walker", "radix page-walker vs fixed penalty (extension X2)", func(o experiments.Options) error {
+			r, err := experiments.Walker(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"baselines", "extended baseline comparison (extension X3)", func(o experiments.Options) error {
+			r, err := experiments.Baselines(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"mixed", "mixed 4KB/2MB page sizes (extension X4)", func(o experiments.Options) error {
+			r, err := experiments.Mixed(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"consolidated", "ASID-tagged consolidation (extension X5)", func(o experiments.Options) error {
+			r, err := experiments.Consolidated(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"prefetch", "sequential prefetch × replacement (extension X6)", func(o experiments.Options) error {
+			r, err := experiments.Prefetch(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+		{"categories", "per-category MPKI breakdown", func(o experiments.Options) error {
+			r, err := experiments.Categories(o)
+			if err != nil {
+				return err
+			}
+			return r.Write(out)
+		}},
+	}
+
+	want := map[string]bool{}
+	if *exp == "all" {
+		for _, r := range runners {
+			want[r.name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, r := range runners {
+		known[r.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "chirpexp: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	for _, r := range runners {
+		if !want[r.name] {
+			continue
+		}
+		start := time.Now()
+		fmt.Fprintf(out, "== %s: %s ==\n", r.name, r.desc)
+		if err := r.run(o); err != nil {
+			fmt.Fprintf(os.Stderr, "chirpexp: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "-- %s done in %v --\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,143 @@
+// Command chirpsim simulates one workload (or one trace file) under
+// one or more L2 TLB replacement policies and prints MPKI, and — with
+// -timing — IPC under the Table II machine.
+//
+//	chirpsim -workload db-000 -policies lru,srrip,chirp -instr 2000000
+//	chirpsim -trace t.chtr -policies lru,chirp -timing -penalty 150
+//	chirpsim -workload db-000 -describe   # program model as JSON
+//	chirpsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/chirplab/chirp/internal/pipeline"
+	"github.com/chirplab/chirp/internal/policy"
+	"github.com/chirplab/chirp/internal/sim"
+	"github.com/chirplab/chirp/internal/stats"
+	"github.com/chirplab/chirp/internal/tlb"
+	"github.com/chirplab/chirp/internal/trace"
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "suite workload name (e.g. db-000)")
+	traceFile := flag.String("trace", "", "binary trace file (alternative to -workload)")
+	policies := flag.String("policies", "lru,random,srrip,ship,ghrp,chirp", "comma-separated policy list")
+	instr := flag.Uint64("instr", 2_000_000, "instruction budget")
+	timing := flag.Bool("timing", false, "run the full timing model (IPC) instead of TLB-only")
+	penalty := flag.Uint64("penalty", 150, "L2 TLB miss penalty in cycles (timing mode)")
+	list := flag.Bool("list", false, "list policies and suite workloads, then exit")
+	describe := flag.Bool("describe", false, "print the workload's program model as JSON and exit")
+	flag.Parse()
+
+	if *describe {
+		if *workload == "" {
+			fatal("-describe requires -workload")
+		}
+		w := workloads.ByName(*workload)
+		if w == nil {
+			fatal("unknown workload %q (try -list)", *workload)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(workloads.Describe(w.Program())); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+
+	if *list {
+		fmt.Println("policies:", strings.Join(sim.PolicyNames(), " "))
+		fmt.Println("workloads: the 870-entry suite, named <category>-<index>:")
+		fmt.Println("  categories:", strings.Join(workloads.Categories, " "))
+		fmt.Println("  e.g. spec-000 … spec-108, db-000 …, crypto-000 …")
+		return
+	}
+
+	source := func() trace.Source {
+		switch {
+		case *workload != "":
+			w := workloads.ByName(*workload)
+			if w == nil {
+				fatal("unknown workload %q (try -list)", *workload)
+			}
+			return trace.NewLimit(w.Source(), *instr)
+		case *traceFile != "":
+			fs, err := trace.OpenFile(*traceFile)
+			if err != nil {
+				fatal("%v", err)
+			}
+			return trace.NewLimit(fs, *instr)
+		default:
+			fatal("one of -workload or -trace is required (see -list)")
+			return nil
+		}
+	}
+
+	names := strings.Split(*policies, ",")
+	var rows [][]string
+	var baseMPKI, baseIPC float64
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		p, err := sim.NewPolicy(name)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *timing {
+			m, err := pipeline.New(pipeline.DefaultConfig(*instr, *penalty), p,
+				func() tlb.Policy { return policy.NewLRU() })
+			if err != nil {
+				fatal("%v", err)
+			}
+			res, err := m.Run(source())
+			if err != nil {
+				fatal("%s: %v", name, err)
+			}
+			if i == 0 {
+				baseMPKI, baseIPC = res.MPKI, res.IPC
+			}
+			rows = append(rows, []string{
+				name,
+				fmt.Sprintf("%.4f", res.MPKI),
+				fmt.Sprintf("%+.2f%%", stats.Reduction(baseMPKI, res.MPKI)),
+				fmt.Sprintf("%.4f", res.IPC),
+				fmt.Sprintf("%+.2f%%", (res.IPC/baseIPC-1)*100),
+				fmt.Sprintf("%.3f", res.BranchAccuracy),
+			})
+		} else {
+			res, err := sim.RunTLBOnly(source(), p, sim.DefaultTLBOnlyConfig(*instr))
+			if err != nil {
+				fatal("%s: %v", name, err)
+			}
+			if i == 0 {
+				baseMPKI = res.MPKI
+			}
+			rows = append(rows, []string{
+				name,
+				fmt.Sprintf("%.4f", res.MPKI),
+				fmt.Sprintf("%+.2f%%", stats.Reduction(baseMPKI, res.MPKI)),
+				fmt.Sprintf("%.3f", res.Efficiency),
+				fmt.Sprintf("%.3f", res.TableAccessRate),
+			})
+		}
+	}
+	var err error
+	if *timing {
+		err = stats.Table(os.Stdout, []string{"policy", "MPKI", "vs first", "IPC", "speedup", "branch acc"}, rows)
+	} else {
+		err = stats.Table(os.Stdout, []string{"policy", "MPKI", "vs first", "efficiency", "table rate"}, rows)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chirpsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command tracegen materialises suite workloads into binary trace
+// files (the "CHTR" format internal/trace defines), so runs can be
+// replayed or inspected without the generators.
+//
+//	tracegen -workload db-000 -instr 5000000 -o db-000.chtr
+//	tracegen -all -n 16 -instr 1000000 -dir traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/chirplab/chirp/internal/trace"
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "", "suite workload to materialise")
+	out := flag.String("o", "", "output file (default <workload>.chtr)")
+	all := flag.Bool("all", false, "materialise a suite prefix instead of one workload")
+	n := flag.Int("n", 8, "suite prefix size with -all")
+	dir := flag.String("dir", ".", "output directory with -all")
+	instr := flag.Uint64("instr", 1_000_000, "instructions per trace")
+	flag.Parse()
+
+	write := func(w *workloads.Workload, path string) {
+		records, instructions, err := trace.WriteFile(path, trace.NewLimit(w.Source(), *instr))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %s: %v\n", w.Name, err)
+			os.Exit(1)
+		}
+		fi, _ := os.Stat(path)
+		fmt.Printf("%s: %d records, %d instructions, %d bytes\n", path, records, instructions, fi.Size())
+	}
+
+	switch {
+	case *all:
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		for _, w := range workloads.SuiteN(*n) {
+			write(w, filepath.Join(*dir, w.Name+".chtr"))
+		}
+	case *workload != "":
+		w := workloads.ByName(*workload)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *workload)
+			os.Exit(1)
+		}
+		path := *out
+		if path == "" {
+			path = w.Name + ".chtr"
+		}
+		write(w, path)
+	default:
+		fmt.Fprintln(os.Stderr, "tracegen: -workload or -all is required")
+		os.Exit(2)
+	}
+}

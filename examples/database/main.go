@@ -1,0 +1,83 @@
+// Database scenario: the paper's motivating case in full. A database
+// engine's probe kernel serves both OLTP index lookups (hot, reused
+// pages) and OLAP table scans (dead-on-arrival pages) through the same
+// load PCs, so only control-flow context can tell the two apart. This
+// example runs all six paper policies over the database slice of the
+// suite, then measures the end-to-end speedup of CHiRP at the paper's
+// 150-cycle walk penalty.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	chirp "github.com/chirplab/chirp"
+)
+
+func main() {
+	const instructions = 1_500_000
+
+	// The db-* members of the suite model OLTP/OLAP mixes with varying
+	// footprints and phase behaviour.
+	var dbs []*chirp.Workload
+	for _, w := range chirp.SuiteN(80) {
+		if w.Category == "db" {
+			dbs = append(dbs, w)
+		}
+	}
+	fmt.Printf("database workloads: %d\n\n", len(dbs))
+
+	policies := chirp.PaperPolicies()
+	sum := map[string]float64{}
+	for _, w := range dbs {
+		rs, err := chirp.CompareMPKI(w, policies, instructions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rs {
+			sum[r.Policy] += r.MPKI
+		}
+	}
+	fmt.Printf("%-8s %10s %12s\n", "policy", "avg MPKI", "vs LRU")
+	base := sum["lru"] / float64(len(dbs))
+	for _, p := range policies {
+		m := sum[p] / float64(len(dbs))
+		fmt.Printf("%-8s %10.3f %+11.2f%%\n", p, m, (base-m)/base*100)
+	}
+
+	// End-to-end: IPC under the Table II machine for the database
+	// workload with the highest LRU MPKI (the one where replacement
+	// matters most).
+	heaviest := dbs[0]
+	var worst float64
+	for _, w := range dbs {
+		rs, err := chirp.CompareMPKI(w, []string{"lru"}, instructions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rs[0].MPKI > worst {
+			worst, heaviest = rs[0].MPKI, w
+		}
+	}
+	fmt.Printf("\ntiming on %s (150-cycle page walks):\n", heaviest.Name)
+	var ipcLRU float64
+	for _, name := range []string{"lru", "chirp"} {
+		p, err := chirp.NewPolicy(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := chirp.MeasureTiming(heaviest.Source(), p, instructions, 150)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if name == "lru" {
+			ipcLRU = res.IPC
+		}
+		fmt.Printf("  %-6s IPC %.4f  MPKI %.3f  speedup %+.2f%%\n",
+			name, res.IPC, res.MPKI, (res.IPC/ipcLRU-1)*100)
+	}
+	fmt.Println(strings.Repeat("-", 40))
+	fmt.Println("CHiRP separates scan contexts from probe contexts by branch history;")
+	fmt.Println("the accessing PC alone cannot (paper §III, Observations 1-2).")
+}

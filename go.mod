@@ -1,0 +1,3 @@
+module github.com/chirplab/chirp
+
+go 1.22

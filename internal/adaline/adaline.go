@@ -1,0 +1,131 @@
+// Package adaline implements the ADALINE (ADAptive LINear Element)
+// learner of Widrow & Hoff that the paper uses offline (§II-D, §III-A)
+// to score which PC bits carry reuse information. Each input is one PC
+// bit (encoded ±1); the target is whether the touched TLB entry was
+// reused before eviction. After training, the magnitude of each
+// input's weight measures that bit's salience — Figure 3 shows bits 2
+// and 3 dominating, which is why CHiRP's path history records exactly
+// those bits.
+package adaline
+
+import "math"
+
+// Config parameterises training.
+type Config struct {
+	// Inputs is the feature count (one per PC bit studied).
+	Inputs int
+	// LearningRate is the Widrow-Hoff µ.
+	LearningRate float64
+	// L1Decay is the regularisation strength that pulls unused weights
+	// to zero (the paper: "incorporation of appropriate regularization
+	// terms ... encourages such weights to converge to zero").
+	L1Decay float64
+}
+
+// DefaultConfig studies PC bits 2..33 (32 inputs) with a conservative
+// rate.
+func DefaultConfig() Config {
+	return Config{Inputs: 32, LearningRate: 0.01, L1Decay: 0.0005}
+}
+
+// Adaline is a trained linear element.
+type Adaline struct {
+	cfg     Config
+	weights []float64
+	bias    float64
+	seen    uint64
+	errors  uint64
+}
+
+// New builds an untrained ADALINE.
+func New(cfg Config) *Adaline {
+	if cfg.Inputs <= 0 {
+		panic("adaline: inputs must be positive")
+	}
+	return &Adaline{cfg: cfg, weights: make([]float64, cfg.Inputs)}
+}
+
+// Output computes y = wᵀx + θ for a ±1-encoded input vector.
+func (a *Adaline) Output(x []float64) float64 {
+	y := a.bias
+	for i, xi := range x {
+		if i >= len(a.weights) {
+			break
+		}
+		y += a.weights[i] * xi
+	}
+	return y
+}
+
+// Predict thresholds the output into the two classes.
+func (a *Adaline) Predict(x []float64) bool { return a.Output(x) >= 0 }
+
+// Train performs one Widrow-Hoff update toward target d ∈ {−1, +1}:
+// w ← w + µ(d − y)x, with L1 decay pulling weights toward zero.
+func (a *Adaline) Train(x []float64, d float64) {
+	y := a.Output(x)
+	a.seen++
+	if (y >= 0) != (d >= 0) {
+		a.errors++
+	}
+	e := a.cfg.LearningRate * (d - y)
+	for i := range a.weights {
+		if i < len(x) {
+			a.weights[i] += e * x[i]
+		}
+		// L1 shrinkage.
+		switch {
+		case a.weights[i] > a.cfg.L1Decay:
+			a.weights[i] -= a.cfg.L1Decay
+		case a.weights[i] < -a.cfg.L1Decay:
+			a.weights[i] += a.cfg.L1Decay
+		default:
+			a.weights[i] = 0
+		}
+	}
+	a.bias += e
+}
+
+// Weights returns a copy of the trained weight vector.
+func (a *Adaline) Weights() []float64 { return append([]float64(nil), a.weights...) }
+
+// Salience returns |w| normalised to the maximum weight magnitude —
+// the per-bit colour intensity of Figure 3's rows.
+func (a *Adaline) Salience() []float64 {
+	out := make([]float64, len(a.weights))
+	max := 0.0
+	for _, w := range a.weights {
+		if m := math.Abs(w); m > max {
+			max = m
+		}
+	}
+	if max == 0 {
+		return out
+	}
+	for i, w := range a.weights {
+		out[i] = math.Abs(w) / max
+	}
+	return out
+}
+
+// Accuracy returns the online training accuracy.
+func (a *Adaline) Accuracy() float64 {
+	if a.seen == 0 {
+		return 0
+	}
+	return 1 - float64(a.errors)/float64(a.seen)
+}
+
+// EncodePCBits expands pc into a ±1 input vector over bits
+// [firstBit, firstBit+n).
+func EncodePCBits(pc uint64, firstBit, n int) []float64 {
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if pc>>(uint(firstBit+i))&1 == 1 {
+			x[i] = 1
+		} else {
+			x[i] = -1
+		}
+	}
+	return x
+}

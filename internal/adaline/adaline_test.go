@@ -1,0 +1,96 @@
+package adaline
+
+import (
+	"testing"
+
+	"github.com/chirplab/chirp/internal/trace"
+)
+
+func TestLearnsSingleInformativeBit(t *testing.T) {
+	// Target = sign of input bit 0: ADALINE must put (almost) all its
+	// weight there.
+	a := New(Config{Inputs: 8, LearningRate: 0.05, L1Decay: 0.001})
+	rng := trace.NewRNG(1)
+	for i := 0; i < 5000; i++ {
+		pc := rng.Uint64()
+		x := EncodePCBits(pc, 0, 8)
+		d := x[0] // target equals bit 0
+		a.Train(x, d)
+	}
+	s := a.Salience()
+	if s[0] != 1 {
+		t.Fatalf("bit 0 salience = %v, want 1 (max)", s[0])
+	}
+	for i := 1; i < 8; i++ {
+		if s[i] > 0.3 {
+			t.Errorf("uninformative bit %d salience = %v, want < 0.3", i, s[i])
+		}
+	}
+	if a.Accuracy() < 0.8 {
+		t.Errorf("training accuracy = %v, want > 0.8", a.Accuracy())
+	}
+}
+
+func TestL1DecayKillsUnusedWeights(t *testing.T) {
+	a := New(Config{Inputs: 4, LearningRate: 0.05, L1Decay: 0.01})
+	rng := trace.NewRNG(2)
+	// Pure noise: all weights must decay to (near) zero.
+	for i := 0; i < 3000; i++ {
+		x := EncodePCBits(rng.Uint64(), 0, 4)
+		d := 1.0
+		if rng.Bool(0.5) {
+			d = -1
+		}
+		a.Train(x, d)
+	}
+	for i, w := range a.Weights() {
+		if w > 0.5 || w < -0.5 {
+			t.Errorf("noise-trained weight %d = %v, want near 0", i, w)
+		}
+	}
+}
+
+func TestPredictThreshold(t *testing.T) {
+	a := New(Config{Inputs: 2, LearningRate: 0.1, L1Decay: 0})
+	x := []float64{1, 1}
+	for i := 0; i < 200; i++ {
+		a.Train(x, 1)
+	}
+	if !a.Predict(x) {
+		t.Error("trained positive pattern predicted negative")
+	}
+	if out := a.Output(x); out <= 0 {
+		t.Errorf("output = %v, want positive", out)
+	}
+}
+
+func TestEncodePCBits(t *testing.T) {
+	x := EncodePCBits(0b1010, 1, 3) // bits 1..3 = 1,0,1
+	want := []float64{1, -1, 1}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("EncodePCBits = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSalienceZeroWhenUntrained(t *testing.T) {
+	a := New(DefaultConfig())
+	for _, s := range a.Salience() {
+		if s != 0 {
+			t.Fatal("untrained salience must be all zero")
+		}
+	}
+	if a.Accuracy() != 0 {
+		t.Error("untrained accuracy must be 0")
+	}
+}
+
+func TestNewPanicsOnBadInputs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New must panic for non-positive inputs")
+		}
+	}()
+	New(Config{Inputs: 0})
+}

@@ -1,0 +1,201 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPerceptronLearnsBias(t *testing.T) {
+	p := NewPerceptron(DefaultPerceptronConfig())
+	const pc = 0x40001c
+	// Always-taken branch must converge to near-perfect prediction.
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		pred := p.Predict(pc)
+		if i > 100 && !pred {
+			wrong++
+		}
+		p.Train(true)
+	}
+	if wrong > 5 {
+		t.Errorf("always-taken branch mispredicted %d times after warmup", wrong)
+	}
+}
+
+func TestPerceptronLearnsAlternation(t *testing.T) {
+	p := NewPerceptron(DefaultPerceptronConfig())
+	const pc = 0x5000a4
+	wrong := 0
+	for i := 0; i < 4000; i++ {
+		taken := i%2 == 0
+		pred := p.Predict(pc)
+		if i > 1000 && pred != taken {
+			wrong++
+		}
+		p.Train(taken)
+	}
+	// Alternation is trivially history-predictable.
+	if wrong > 60 {
+		t.Errorf("alternating branch mispredicted %d/3000 after warmup", wrong)
+	}
+}
+
+func TestPerceptronLearnsCorrelation(t *testing.T) {
+	p := NewPerceptron(DefaultPerceptronConfig())
+	// Branch B's outcome equals branch A's last outcome: pure
+	// history correlation, invisible to per-PC bias.
+	const pcA, pcB = 0x1000, 0x2000
+	lastA := false
+	wrong := 0
+	rng := uint64(12345)
+	for i := 0; i < 6000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		takenA := rng>>62&1 == 1
+		p.Predict(pcA)
+		p.Train(takenA)
+		lastA = takenA
+
+		predB := p.Predict(pcB)
+		takenB := lastA
+		if i > 2000 && predB != takenB {
+			wrong++
+		}
+		p.Train(takenB)
+	}
+	if wrong > 400 {
+		t.Errorf("correlated branch mispredicted %d/4000 after warmup", wrong)
+	}
+}
+
+func TestPerceptronStats(t *testing.T) {
+	p := NewPerceptron(DefaultPerceptronConfig())
+	p.Predict(0x100)
+	p.Train(true)
+	preds, _ := p.Stats()
+	if preds != 1 {
+		t.Errorf("predictions = %d, want 1", preds)
+	}
+	if acc := p.Accuracy(); acc < 0 || acc > 1 {
+		t.Errorf("accuracy out of range: %v", acc)
+	}
+}
+
+func TestPerceptronConfigPanics(t *testing.T) {
+	for _, cfg := range []PerceptronConfig{
+		{Tables: 0, TableEntries: 64},
+		{Tables: 32, TableEntries: 64},
+		{Tables: 4, TableEntries: 100},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			NewPerceptron(cfg)
+		}()
+	}
+}
+
+func TestBTBStoresTargets(t *testing.T) {
+	b := NewBTB(64, 4)
+	if _, hit := b.Lookup(0x1000); hit {
+		t.Fatal("empty BTB must miss")
+	}
+	b.Update(0x1000, 0x2000)
+	target, hit := b.Lookup(0x1000)
+	if !hit || target != 0x2000 {
+		t.Fatalf("Lookup = (%#x, %v), want (0x2000, true)", target, hit)
+	}
+	// Update in place.
+	b.Update(0x1000, 0x3000)
+	if target, _ := b.Lookup(0x1000); target != 0x3000 {
+		t.Errorf("updated target = %#x, want 0x3000", target)
+	}
+}
+
+func TestBTBEvictsLRUWithinSet(t *testing.T) {
+	b := NewBTB(8, 2) // 4 sets, 2 ways
+	// PCs mapping to set 0: pc>>2 ≡ 0 mod 4 → pc multiples of 16.
+	b.Update(0x00, 1)
+	b.Update(0x10, 2)
+	b.Lookup(0x00)    // refresh
+	b.Update(0x20, 3) // evicts 0x10
+	if _, hit := b.Lookup(0x10); hit {
+		t.Error("LRU entry not evicted")
+	}
+	if _, hit := b.Lookup(0x00); !hit {
+		t.Error("refreshed entry evicted")
+	}
+}
+
+func TestBTBPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBTB(0, 4) },
+		func() { NewBTB(10, 4) },
+		func() { NewBTB(24, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIndirectLearnsPerHistoryTargets(t *testing.T) {
+	ip := NewIndirect(1024)
+	// A switch-like indirect branch whose target depends on the
+	// preceding target history.
+	const pc = 0x7700
+	targets := []uint64{0xa000, 0xb000, 0xc000}
+	wrong := 0
+	for i := 0; i < 3000; i++ {
+		want := targets[i%len(targets)]
+		got, hit := ip.Predict(pc)
+		if i > 500 && (!hit || got != want) {
+			wrong++
+		}
+		ip.Update(pc, want)
+	}
+	if wrong > 250 {
+		t.Errorf("cyclic indirect mispredicted %d/2500 after warmup", wrong)
+	}
+	if r := ip.HitRatio(); r <= 0 || r > 1 {
+		t.Errorf("hit ratio out of range: %v", r)
+	}
+}
+
+func TestIndirectSizePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two size")
+		}
+	}()
+	NewIndirect(1000)
+}
+
+func TestBTBPropertyNeverFalsePositiveTarget(t *testing.T) {
+	// Whatever sequence of updates happens, a Lookup hit must return
+	// the most recent target installed for that PC.
+	f := func(ops []uint16) bool {
+		b := NewBTB(64, 4)
+		last := map[uint64]uint64{}
+		for i, op := range ops {
+			pc := uint64(op%64) << 2
+			target := uint64(i + 1)
+			b.Update(pc, target)
+			last[pc] = target
+			if got, hit := b.Lookup(pc); hit && got != last[pc] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package branch
+
+// BTB is a set-associative branch target buffer (4K entries in Table
+// II) with LRU replacement.
+type BTB struct {
+	entries int
+	ways    int
+	sets    int
+	tags    []uint64
+	targets []uint64
+	valid   []bool
+	lru     []uint8
+
+	lookups uint64
+	hits    uint64
+}
+
+// NewBTB builds an entries-entry, ways-way BTB.
+func NewBTB(entries, ways int) *BTB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("branch: BTB entries must be a positive multiple of ways")
+	}
+	sets := entries / ways
+	if sets&(sets-1) != 0 {
+		panic("branch: BTB set count must be a power of two")
+	}
+	b := &BTB{
+		entries: entries, ways: ways, sets: sets,
+		tags:    make([]uint64, entries),
+		targets: make([]uint64, entries),
+		valid:   make([]bool, entries),
+		lru:     make([]uint8, entries),
+	}
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			b.lru[s*ways+w] = uint8(w)
+		}
+	}
+	return b
+}
+
+func (b *BTB) index(pc uint64) (set int, tag uint64) {
+	line := pc >> 2
+	return int(line & uint64(b.sets-1)), line >> uint(log2(b.sets))
+}
+
+func (b *BTB) touch(base, way int) {
+	p := b.lru[base+way]
+	for w := 0; w < b.ways; w++ {
+		if b.lru[base+w] < p {
+			b.lru[base+w]++
+		}
+	}
+	b.lru[base+way] = 0
+}
+
+// Lookup returns the predicted target for the branch at pc.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	b.lookups++
+	set, tag := b.index(pc)
+	base := set * b.ways
+	for w := 0; w < b.ways; w++ {
+		if b.valid[base+w] && b.tags[base+w] == tag {
+			b.hits++
+			b.touch(base, w)
+			return b.targets[base+w], true
+		}
+	}
+	return 0, false
+}
+
+// Update installs or refreshes the target for the branch at pc.
+func (b *BTB) Update(pc, target uint64) {
+	set, tag := b.index(pc)
+	base := set * b.ways
+	victim := -1
+	for w := 0; w < b.ways; w++ {
+		if b.valid[base+w] && b.tags[base+w] == tag {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		for w := 0; w < b.ways; w++ {
+			if !b.valid[base+w] {
+				victim = w
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		worst := uint8(0)
+		for w := 0; w < b.ways; w++ {
+			if b.lru[base+w] >= worst {
+				worst, victim = b.lru[base+w], w
+			}
+		}
+	}
+	b.tags[base+victim] = tag
+	b.targets[base+victim] = target
+	b.valid[base+victim] = true
+	b.touch(base, victim)
+}
+
+// HitRatio returns hits/lookups.
+func (b *BTB) HitRatio() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.lookups)
+}
+
+func log2(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Indirect predicts indirect-branch targets from a hash of the PC and
+// a folded global target history (an ITTAGE-flavoured single table).
+type Indirect struct {
+	size    int
+	tags    []uint64
+	targets []uint64
+	history uint64
+
+	lookups uint64
+	hits    uint64
+}
+
+// NewIndirect builds a size-entry (power of two) indirect predictor.
+func NewIndirect(size int) *Indirect {
+	if size <= 0 || size&(size-1) != 0 {
+		panic("branch: indirect predictor size must be a power of two")
+	}
+	return &Indirect{size: size, tags: make([]uint64, size), targets: make([]uint64, size)}
+}
+
+func (ip *Indirect) index(pc uint64) (idx int, tag uint64) {
+	x := pc>>2 ^ ip.history*0x9e3779b97f4a7c15
+	x ^= x >> 31
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 29
+	return int(x & uint64(ip.size-1)), x >> 48
+}
+
+// Predict returns the predicted target for the indirect branch at pc.
+func (ip *Indirect) Predict(pc uint64) (target uint64, hit bool) {
+	ip.lookups++
+	idx, tag := ip.index(pc)
+	if ip.tags[idx] == tag && ip.targets[idx] != 0 {
+		ip.hits++
+		return ip.targets[idx], true
+	}
+	return 0, false
+}
+
+// Update records the actual target and folds it into the history. The
+// fold mixes a spread of target bits so that page-aligned targets
+// (whose low bits are all zero) still perturb the history.
+func (ip *Indirect) Update(pc, target uint64) {
+	idx, tag := ip.index(pc)
+	ip.tags[idx] = tag
+	ip.targets[idx] = target
+	nib := (target >> 2) ^ (target >> 8) ^ (target >> 14)
+	ip.history = ip.history<<4 ^ nib&0xf ^ ip.history>>60
+}
+
+// HitRatio returns hits/lookups.
+func (ip *Indirect) HitRatio() float64 {
+	if ip.lookups == 0 {
+		return 0
+	}
+	return float64(ip.hits) / float64(ip.lookups)
+}

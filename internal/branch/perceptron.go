@@ -1,0 +1,144 @@
+// Package branch implements the paper's branch prediction unit
+// (Table II): a hashed perceptron direction predictor [Tarjan &
+// Skadron, TACO 2005], a 4K-entry set-associative branch target
+// buffer, and a global-history-hashed indirect target predictor. The
+// timing model charges the 20-cycle penalty on any front-end
+// misprediction.
+package branch
+
+// PerceptronConfig sizes the hashed perceptron predictor.
+type PerceptronConfig struct {
+	// Tables is the number of weight tables, each indexed by a hash of
+	// the PC with a distinct segment of global history.
+	Tables int
+	// TableEntries is the rows per table (power of two).
+	TableEntries int
+	// HistoryBits is the global-history length hashed across tables.
+	HistoryBits int
+	// WeightMax bounds the signed weights (±WeightMax).
+	WeightMax int
+	// ThresholdScale sets the training threshold θ ≈ scale × Tables.
+	ThresholdScale int
+}
+
+// DefaultPerceptronConfig returns an 8-table, 1K-row, 64-bit-history
+// hashed perceptron comparable to the paper's "hashed perceptron"
+// direction predictor.
+func DefaultPerceptronConfig() PerceptronConfig {
+	return PerceptronConfig{
+		Tables:         8,
+		TableEntries:   1024,
+		HistoryBits:    64,
+		WeightMax:      127,
+		ThresholdScale: 18,
+	}
+}
+
+// Perceptron is a hashed perceptron direction predictor.
+type Perceptron struct {
+	cfg     PerceptronConfig
+	weights [][]int16
+	history uint64
+	theta   int
+
+	// Last prediction state, latched by Predict for Train.
+	lastIdx [16]uint32
+	lastSum int
+
+	predictions uint64
+	mispredicts uint64
+}
+
+// NewPerceptron builds the predictor.
+func NewPerceptron(cfg PerceptronConfig) *Perceptron {
+	if cfg.Tables <= 0 || cfg.Tables > 16 {
+		panic("branch: perceptron needs 1..16 tables")
+	}
+	if cfg.TableEntries <= 0 || cfg.TableEntries&(cfg.TableEntries-1) != 0 {
+		panic("branch: perceptron table entries must be a power of two")
+	}
+	w := make([][]int16, cfg.Tables)
+	for i := range w {
+		w[i] = make([]int16, cfg.TableEntries)
+	}
+	return &Perceptron{cfg: cfg, weights: w, theta: cfg.ThresholdScale * cfg.Tables}
+}
+
+// mix hashes PC with a history segment for table t.
+func (p *Perceptron) mix(pc uint64, t int) uint32 {
+	seg := p.cfg.HistoryBits / p.cfg.Tables
+	if seg == 0 {
+		seg = 1
+	}
+	lo := t * seg
+	h := (p.history >> uint(lo)) & (1<<uint(seg) - 1)
+	x := pc>>2 ^ h*0x9e3779b97f4a7c15 ^ uint64(t)<<57
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return uint32(x) & uint32(p.cfg.TableEntries-1)
+}
+
+// Predict returns the predicted direction for the conditional branch
+// at pc and latches state for Train.
+func (p *Perceptron) Predict(pc uint64) bool {
+	sum := 0
+	for t := 0; t < p.cfg.Tables; t++ {
+		idx := p.mix(pc, t)
+		p.lastIdx[t] = idx
+		sum += int(p.weights[t][idx])
+	}
+	p.lastSum = sum
+	p.predictions++
+	return sum >= 0
+}
+
+// Train updates the weights with the actual outcome of the branch last
+// predicted and shifts the outcome into the global history. It returns
+// whether the prediction was correct.
+func (p *Perceptron) Train(taken bool) bool {
+	correct := (p.lastSum >= 0) == taken
+	if !correct {
+		p.mispredicts++
+	}
+	if !correct || abs(p.lastSum) <= p.theta {
+		for t := 0; t < p.cfg.Tables; t++ {
+			w := &p.weights[t][p.lastIdx[t]]
+			if taken {
+				if int(*w) < p.cfg.WeightMax {
+					*w++
+				}
+			} else {
+				if int(*w) > -p.cfg.WeightMax {
+					*w--
+				}
+			}
+		}
+	}
+	bit := uint64(0)
+	if taken {
+		bit = 1
+	}
+	p.history = p.history<<1 | bit
+	return correct
+}
+
+// Accuracy returns the fraction of correct direction predictions.
+func (p *Perceptron) Accuracy() float64 {
+	if p.predictions == 0 {
+		return 0
+	}
+	return 1 - float64(p.mispredicts)/float64(p.predictions)
+}
+
+// Stats returns (predictions, mispredictions).
+func (p *Perceptron) Stats() (predictions, mispredicts uint64) {
+	return p.predictions, p.mispredicts
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,192 @@
+// Package core implements CHiRP — Control-flow History Reuse
+// Prediction — the paper's contribution: a predictive replacement
+// policy for the L2 TLB driven by a signature built from the global
+// path history of PC bits, the conditional-branch address history and
+// the indirect-branch address history (paper §IV, Figure 5).
+package core
+
+// histReg is a conceptual shift-register history of fixed-width
+// elements, folded to 64 bits.
+//
+// The paper's registers are literal 64-bit shift registers: the path
+// history holds 16 elements of 4 bits (two PC bits plus two injected
+// leading zeros — the §III-B shift-and-scale transform), and each
+// branch history holds 8 elements of 8 bits (PC bits [11:4]). When
+// length × width is exactly 64 this type degenerates to that register.
+// Longer histories (the Figure 2 sweep) are folded: the conceptual
+// long register is XOR-folded into 64-bit chunks, the standard
+// hardware trick for long branch histories.
+type histReg struct {
+	ring  []uint64 // most recent at (pos-1+len)%len
+	pos   int
+	width uint // bits per element; must divide 64
+}
+
+// newHistReg builds a history of length elements of width bits each.
+func newHistReg(length int, width uint) *histReg {
+	if length <= 0 {
+		panic("core: history length must be positive")
+	}
+	if width == 0 || 64%width != 0 {
+		panic("core: history element width must divide 64")
+	}
+	return &histReg{ring: make([]uint64, length), width: width}
+}
+
+// push shifts a new element into the history, ageing the rest.
+func (h *histReg) push(v uint64) {
+	h.ring[h.pos] = v & (1<<h.width - 1)
+	h.pos++
+	if h.pos == len(h.ring) {
+		h.pos = 0
+	}
+}
+
+// fold returns the 64-bit folded value of the conceptual register:
+// element of age j sits at bit offset (j·width) mod 64.
+func (h *histReg) fold() uint64 {
+	var f uint64
+	off := uint(0)
+	idx := h.pos // walk from newest (pos-1) backwards
+	for j := 0; j < len(h.ring); j++ {
+		idx--
+		if idx < 0 {
+			idx = len(h.ring) - 1
+		}
+		f ^= h.ring[idx] << off
+		off += h.width
+		if off >= 64 {
+			off -= 64
+		}
+	}
+	return f
+}
+
+// reset clears the history.
+func (h *histReg) reset() {
+	for i := range h.ring {
+		h.ring[i] = 0
+	}
+	h.pos = 0
+}
+
+// snapshot and restore support speculative checkpointing.
+func (h *histReg) snapshot() histSnapshot {
+	s := histSnapshot{pos: h.pos, ring: make([]uint64, len(h.ring))}
+	copy(s.ring, h.ring)
+	return s
+}
+
+func (h *histReg) restore(s histSnapshot) {
+	h.pos = s.pos
+	copy(h.ring, s.ring)
+}
+
+type histSnapshot struct {
+	ring []uint64
+	pos  int
+}
+
+// Histories bundles CHiRP's three control-flow history registers
+// (paper §IV-B): the global path history of L2-TLB-access PC bits, the
+// conditional-branch address history and the unconditional-indirect-
+// branch address history.
+type Histories struct {
+	path *histReg
+	cond *histReg
+	ind  *histReg
+
+	// pathElemShift positions the two PC bits inside each path element
+	// (the two injected leading zeros when the element is 4 bits wide).
+	cfg HistoryConfig
+}
+
+// HistoryConfig sizes the three registers.
+type HistoryConfig struct {
+	// PathLength is the number of L2 TLB accesses recorded (paper: 16).
+	PathLength int
+	// PathLeadingZeros injects two zero bits per path element (paper
+	// §III-B shift-and-scale; element width 4 instead of 2).
+	PathLeadingZeros bool
+	// BranchLength is the number of branches recorded per branch
+	// history (paper: 8, at 8 bits of PC each).
+	BranchLength int
+}
+
+// DefaultHistoryConfig returns the paper's configuration: 64-bit
+// registers recording 16 accesses and 8 branches of each kind.
+func DefaultHistoryConfig() HistoryConfig {
+	return HistoryConfig{PathLength: 16, PathLeadingZeros: true, BranchLength: 8}
+}
+
+// NewHistories builds the three registers.
+func NewHistories(cfg HistoryConfig) *Histories {
+	if cfg.PathLength <= 0 {
+		cfg.PathLength = 16
+	}
+	if cfg.BranchLength <= 0 {
+		cfg.BranchLength = 8
+	}
+	pw := uint(2)
+	if cfg.PathLeadingZeros {
+		pw = 4
+	}
+	return &Histories{
+		path: newHistReg(cfg.PathLength, pw),
+		cond: newHistReg(cfg.BranchLength, 8),
+		ind:  newHistReg(cfg.BranchLength, 8),
+		cfg:  cfg,
+	}
+}
+
+// PushAccess records an L2 TLB access by pc (paper Figure 5, procedure
+// UpdatePathHist): the two low-order PC bits (bits 2 and 3, the bits
+// the ADALINE study found most salient) enter the path history,
+// followed by two injected zeros when shift-and-scale is on.
+func (h *Histories) PushAccess(pc uint64) { h.path.push((pc >> 2) & 0x3) }
+
+// PushCond records a conditional branch (paper Figure 5, procedure
+// UpdateBrHist): PC bits [11:4].
+func (h *Histories) PushCond(pc uint64) { h.cond.push((pc >> 4) & 0xff) }
+
+// PushIndirect records an unconditional indirect branch: PC bits
+// [11:4] into the indirect history.
+func (h *Histories) PushIndirect(pc uint64) { h.ind.push((pc >> 4) & 0xff) }
+
+// Path returns the folded 64-bit path history.
+func (h *Histories) Path() uint64 { return h.path.fold() }
+
+// Cond returns the folded 64-bit conditional-branch history.
+func (h *Histories) Cond() uint64 { return h.cond.fold() }
+
+// Indirect returns the folded 64-bit indirect-branch history.
+func (h *Histories) Indirect() uint64 { return h.ind.fold() }
+
+// Reset clears all three registers.
+func (h *Histories) Reset() {
+	h.path.reset()
+	h.cond.reset()
+	h.ind.reset()
+}
+
+// Snapshot captures the complete history state for speculative
+// checkpointing.
+func (h *Histories) Snapshot() HistoriesSnapshot {
+	return HistoriesSnapshot{
+		path: h.path.snapshot(),
+		cond: h.cond.snapshot(),
+		ind:  h.ind.snapshot(),
+	}
+}
+
+// Restore rewinds to a snapshot.
+func (h *Histories) Restore(s HistoriesSnapshot) {
+	h.path.restore(s.path)
+	h.cond.restore(s.cond)
+	h.ind.restore(s.ind)
+}
+
+// HistoriesSnapshot is an opaque checkpoint of all three registers.
+type HistoriesSnapshot struct {
+	path, cond, ind histSnapshot
+}

@@ -1,0 +1,54 @@
+package core
+
+// DualHistory implements the paper's misprediction-recovery scheme
+// (§VI-E): "CHIRP maintains two path histories: the speculative
+// history updated using the outcome of the branch predictor, and a
+// non-speculative history updated when a branch commits." The
+// front-end speculatively updates one copy; when a branch resolves as
+// mispredicted, the speculative copy is rewound to the architectural
+// one. Prediction-table updates happen only at commit with right-path
+// branches, which the simulation drivers honour by feeding policies
+// the committed stream.
+type DualHistory struct {
+	spec *Histories
+	arch *Histories
+}
+
+// NewDualHistory builds speculative and architectural history copies
+// with the same configuration.
+func NewDualHistory(cfg HistoryConfig) *DualHistory {
+	return &DualHistory{spec: NewHistories(cfg), arch: NewHistories(cfg)}
+}
+
+// Speculative returns the front-end (speculative) histories.
+func (d *DualHistory) Speculative() *Histories { return d.spec }
+
+// Architectural returns the committed histories.
+func (d *DualHistory) Architectural() *Histories { return d.arch }
+
+// SpeculateCond records a predicted conditional branch into the
+// speculative history only.
+func (d *DualHistory) SpeculateCond(pc uint64) { d.spec.PushCond(pc) }
+
+// SpeculateIndirect records a predicted indirect branch into the
+// speculative history only.
+func (d *DualHistory) SpeculateIndirect(pc uint64) { d.spec.PushIndirect(pc) }
+
+// SpeculateAccess records a speculative L2 TLB access.
+func (d *DualHistory) SpeculateAccess(pc uint64) { d.spec.PushAccess(pc) }
+
+// CommitCond retires a conditional branch into the architectural
+// history.
+func (d *DualHistory) CommitCond(pc uint64) { d.arch.PushCond(pc) }
+
+// CommitIndirect retires an indirect branch into the architectural
+// history.
+func (d *DualHistory) CommitIndirect(pc uint64) { d.arch.PushIndirect(pc) }
+
+// CommitAccess retires an L2 TLB access into the architectural
+// history.
+func (d *DualHistory) CommitAccess(pc uint64) { d.arch.PushAccess(pc) }
+
+// Squash rewinds the speculative copy to the architectural state, as
+// happens on a branch misprediction.
+func (d *DualHistory) Squash() { d.spec.Restore(d.arch.Snapshot()) }

@@ -1,0 +1,129 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§VI): each Fig*/Table* function runs the
+// required simulations over the synthetic suite and returns the series
+// the paper plots, plus a writer that renders them as text/CSV. The
+// cmd/chirpexp binary and the repository's benchmarks are thin
+// wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/chirplab/chirp/internal/sim"
+	"github.com/chirplab/chirp/internal/stats"
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+// Options scales an experiment run. The paper simulates 870 traces for
+// up to 100 M instructions; on a laptop-class host use fewer
+// workloads and instructions — shapes stabilise long before full
+// scale.
+type Options struct {
+	// Workloads is the suite prefix size (≤ 870; 0 means the full
+	// suite).
+	Workloads int
+	// Instructions bounds each trace.
+	Instructions uint64
+	// WalkPenalty is the L2 TLB miss penalty for timing experiments
+	// (the paper's headline speedups use 150).
+	WalkPenalty uint64
+	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultOptions returns a laptop-scale configuration: the full suite
+// at 2 M instructions per trace for MPKI experiments.
+func DefaultOptions() Options {
+	return Options{
+		Workloads:    workloads.SuiteSize,
+		Instructions: 2_000_000,
+		WalkPenalty:  150,
+	}
+}
+
+func (o Options) suite() []*workloads.Workload {
+	n := o.Workloads
+	if n <= 0 || n > workloads.SuiteSize {
+		n = workloads.SuiteSize
+	}
+	return workloads.SuiteN(n)
+}
+
+func (o Options) tlbCfg() sim.TLBOnlyConfig {
+	return sim.DefaultTLBOnlyConfig(o.Instructions)
+}
+
+// PolicyAverages summarises one policy over a suite run.
+type PolicyAverages struct {
+	Policy        string
+	MeanMPKI      float64
+	ReductionPct  float64 // of mean MPKI vs LRU
+	MeanEff       float64
+	EffGainPct    float64 // vs LRU
+	TableRateMean float64
+}
+
+// suiteMPKI runs the TLB-only suite for the named policies and indexes
+// results by policy.
+func suiteMPKI(o Options, policyNames []string) (map[string][]sim.SuiteResult, []*workloads.Workload, error) {
+	ws := o.suite()
+	pols, err := sim.Factories(policyNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, err := sim.RunSuiteTLBOnly(ws, pols, o.tlbCfg(), o.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	byPolicy := make(map[string][]sim.SuiteResult, len(pols))
+	for _, r := range results {
+		byPolicy[r.Policy] = append(byPolicy[r.Policy], r)
+	}
+	return byPolicy, ws, nil
+}
+
+// averages reduces per-policy results against the "lru" baseline.
+func averages(byPolicy map[string][]sim.SuiteResult, order []string) []PolicyAverages {
+	lruMPKI := collect(byPolicy["lru"], func(r sim.SuiteResult) float64 { return r.MPKI })
+	lruEff := collect(byPolicy["lru"], func(r sim.SuiteResult) float64 { return r.Efficiency })
+	baseMPKI := stats.Mean(lruMPKI)
+	baseEff := stats.Mean(lruEff)
+	out := make([]PolicyAverages, 0, len(order))
+	for _, name := range order {
+		rs := byPolicy[name]
+		m := stats.Mean(collect(rs, func(r sim.SuiteResult) float64 { return r.MPKI }))
+		e := stats.Mean(collect(rs, func(r sim.SuiteResult) float64 { return r.Efficiency }))
+		out = append(out, PolicyAverages{
+			Policy:        name,
+			MeanMPKI:      m,
+			ReductionPct:  stats.Reduction(baseMPKI, m),
+			MeanEff:       e,
+			EffGainPct:    stats.Reduction(baseEff, e) * -1, // gain, not reduction
+			TableRateMean: stats.Mean(collect(rs, func(r sim.SuiteResult) float64 { return r.TableAccessRate })),
+		})
+	}
+	return out
+}
+
+func collect[T any](rs []T, f func(T) float64) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = f(r)
+	}
+	return out
+}
+
+func writeAverages(w io.Writer, avgs []PolicyAverages) error {
+	rows := make([][]string, 0, len(avgs))
+	for _, a := range avgs {
+		rows = append(rows, []string{
+			a.Policy,
+			fmt.Sprintf("%.3f", a.MeanMPKI),
+			fmt.Sprintf("%+.2f%%", a.ReductionPct),
+			fmt.Sprintf("%.3f", a.MeanEff),
+			fmt.Sprintf("%+.2f%%", a.EffGainPct),
+		})
+	}
+	return stats.Table(w, []string{"policy", "mean MPKI", "MPKI vs LRU", "efficiency", "eff vs LRU"}, rows)
+}

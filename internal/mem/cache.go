@@ -1,0 +1,249 @@
+// Package mem models the cache hierarchy of Table II: L1 instruction
+// and data caches, a unified L2, a unified L3, and DRAM, all as
+// set-associative write-allocate caches with LRU replacement and
+// fixed per-level latencies. The model is timing-approximate in the
+// paper's sense: each access returns the latency of the level that
+// served it; misses recurse into the next level.
+package mem
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	// Name labels the cache in reports.
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the block size (64 in Table II's machine).
+	LineBytes int
+	// Ways is the associativity.
+	Ways int
+	// LatencyCycles is the access (hit) latency.
+	LatencyCycles uint64
+}
+
+// Validate checks the geometry.
+func (c *Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("mem %q: size, line and ways must be positive", c.Name)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("mem %q: size %d not divisible by line×ways", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem %q: set count %d not a power of two", c.Name, sets)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem %q: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	return nil
+}
+
+// Stats counts per-level activity.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// Cache is one set-associative, LRU-replaced cache level.
+type Cache struct {
+	cfg       Config
+	sets      int
+	setMask   uint64
+	lineShift uint
+	tags      []uint64
+	valid     []bool
+	lru       []uint8
+	stats     Stats
+	next      Level
+}
+
+// Level is anything that can serve an access and report its latency:
+// another cache, or Memory.
+type Level interface {
+	// Access reads or writes the line containing addr, returning the
+	// total latency in cycles including lower levels.
+	Access(addr uint64, write bool) uint64
+	// Name labels the level.
+	Name() string
+}
+
+// NewCache builds a cache over the given next level.
+func NewCache(cfg Config, next Level) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, fmt.Errorf("mem %q: nil next level", cfg.Name)
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	lineShift := uint(0)
+	for 1<<lineShift < cfg.LineBytes {
+		lineShift++
+	}
+	c := &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   uint64(sets - 1),
+		lineShift: lineShift,
+		tags:      make([]uint64, sets*cfg.Ways),
+		valid:     make([]bool, sets*cfg.Ways),
+		lru:       make([]uint8, sets*cfg.Ways),
+		next:      next,
+	}
+	for s := 0; s < sets; s++ {
+		for w := 0; w < cfg.Ways; w++ {
+			c.lru[s*cfg.Ways+w] = uint8(w)
+		}
+	}
+	return c, nil
+}
+
+// Name implements Level.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) touch(base, way int) {
+	p := c.lru[base+way]
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.lru[base+w] < p {
+			c.lru[base+w]++
+		}
+	}
+	c.lru[base+way] = 0
+}
+
+// Access implements Level: LRU write-allocate lookup; a miss recurses
+// into the next level and fills.
+func (c *Cache) Access(addr uint64, write bool) uint64 {
+	c.stats.Accesses++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line >> uint(log2(c.sets))
+	base := set * c.cfg.Ways
+
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.stats.Hits++
+			c.touch(base, w)
+			return c.cfg.LatencyCycles
+		}
+	}
+	c.stats.Misses++
+	lower := c.next.Access(addr, write)
+
+	// Fill: invalid way first, else LRU.
+	victim := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.valid[base+w] {
+			victim = w
+			break
+		}
+	}
+	if victim < 0 {
+		worst := uint8(0)
+		for w := 0; w < c.cfg.Ways; w++ {
+			if c.lru[base+w] >= worst {
+				worst, victim = c.lru[base+w], w
+			}
+		}
+	}
+	c.tags[base+victim] = tag
+	c.valid[base+victim] = true
+	c.touch(base, victim)
+	return c.cfg.LatencyCycles + lower
+}
+
+func log2(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Memory is the DRAM terminal level with a flat latency.
+type Memory struct {
+	Latency  uint64
+	accesses uint64
+}
+
+// NewMemory returns DRAM with the given flat latency (240 cycles in
+// Table II).
+func NewMemory(latency uint64) *Memory { return &Memory{Latency: latency} }
+
+// Name implements Level.
+func (*Memory) Name() string { return "DRAM" }
+
+// Access implements Level.
+func (m *Memory) Access(uint64, bool) uint64 {
+	m.accesses++
+	return m.Latency
+}
+
+// Accesses returns how many requests reached DRAM.
+func (m *Memory) Accesses() uint64 { return m.accesses }
+
+// Hierarchy bundles the Table II cache stack.
+type Hierarchy struct {
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	L3   *Cache
+	DRAM *Memory
+}
+
+// HierarchyConfig parameterises NewHierarchy; DefaultHierarchyConfig
+// is Table II.
+type HierarchyConfig struct {
+	L1I, L1D, L2, L3 Config
+	DRAMLatency      uint64
+}
+
+// DefaultHierarchyConfig returns Table II: 64 KB 8-way L1s (4 cycles),
+// 256 KB 16-way L2 (12 cycles), 8 MB 16-way L3 (42 cycles), 240-cycle
+// DRAM, 64-byte lines.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:         Config{Name: "L1I", SizeBytes: 64 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 4},
+		L1D:         Config{Name: "L1D", SizeBytes: 64 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 4},
+		L2:          Config{Name: "L2", SizeBytes: 256 << 10, LineBytes: 64, Ways: 16, LatencyCycles: 12},
+		L3:          Config{Name: "L3", SizeBytes: 8 << 20, LineBytes: 64, Ways: 16, LatencyCycles: 42},
+		DRAMLatency: 240,
+	}
+}
+
+// NewHierarchy assembles the cache stack.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	dram := NewMemory(cfg.DRAMLatency)
+	l3, err := NewCache(cfg.L3, dram)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCache(cfg.L2, l3)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := NewCache(cfg.L1I, l2)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache(cfg.L1D, l2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, L3: l3, DRAM: dram}, nil
+}
+
+// FetchLatency serves an instruction fetch from physical address pa.
+func (h *Hierarchy) FetchLatency(pa uint64) uint64 { return h.L1I.Access(pa, false) }
+
+// DataLatency serves a load or store from physical address pa.
+func (h *Hierarchy) DataLatency(pa uint64, write bool) uint64 { return h.L1D.Access(pa, write) }

@@ -1,0 +1,108 @@
+package mem
+
+import "testing"
+
+func testHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(DefaultHierarchyConfig())
+	if err != nil {
+		t.Fatalf("NewHierarchy: %v", err)
+	}
+	return h
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Name: "zero", SizeBytes: 0, LineBytes: 64, Ways: 8},
+		{Name: "odd-size", SizeBytes: 1000, LineBytes: 64, Ways: 8},
+		{Name: "sets-not-pow2", SizeBytes: 3 * 64 * 8, LineBytes: 64, Ways: 8},
+		{Name: "line-not-pow2", SizeBytes: 48 * 8 * 2, LineBytes: 48, Ways: 8},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q accepted", cfg.Name)
+		}
+	}
+	good := DefaultHierarchyConfig().L1I
+	if err := good.Validate(); err != nil {
+		t.Errorf("default L1I rejected: %v", err)
+	}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	h := testHierarchy(t)
+	const addr = 0x12345678
+	lat1 := h.L1D.Access(addr, false)
+	lat2 := h.L1D.Access(addr, false)
+	// First access: 4 (L1) + 12 (L2) + 42 (L3) + 240 (DRAM) = 298.
+	if lat1 != 298 {
+		t.Errorf("cold access latency = %d, want 298", lat1)
+	}
+	if lat2 != 4 {
+		t.Errorf("warm access latency = %d, want 4 (L1 hit)", lat2)
+	}
+	st := h.L1D.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("L1D stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if h.DRAM.Accesses() != 1 {
+		t.Errorf("DRAM accesses = %d, want 1", h.DRAM.Accesses())
+	}
+}
+
+func TestSameLineSharesEntry(t *testing.T) {
+	h := testHierarchy(t)
+	h.L1D.Access(0x1000, false)
+	if lat := h.L1D.Access(0x103f, false); lat != 4 {
+		t.Errorf("same-line access latency = %d, want 4", lat)
+	}
+	if lat := h.L1D.Access(0x1040, false); lat == 4 {
+		t.Error("next line must miss")
+	}
+}
+
+func TestCacheLRUWithinSet(t *testing.T) {
+	cfg := Config{Name: "tiny", SizeBytes: 2 * 64 * 2, LineBytes: 64, Ways: 2, LatencyCycles: 1}
+	c, err := NewCache(cfg, NewMemory(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set stride: 2 sets → lines with equal low bit share a set.
+	a, b, d := uint64(0x0000), uint64(0x0080), uint64(0x0100) // lines 0, 2, 4 → all set 0
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // refresh a; b becomes LRU
+	c.Access(d, false) // evicts b
+	if lat := c.Access(a, false); lat != 1 {
+		t.Errorf("a evicted unexpectedly (lat %d)", lat)
+	}
+	if lat := c.Access(b, false); lat == 1 {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestL2SharedBetweenL1s(t *testing.T) {
+	h := testHierarchy(t)
+	h.L1I.Access(0x4000, false) // fills L2 too
+	lat := h.L1D.Access(0x4000, false)
+	// L1D miss, L2 hit: 4 + 12 = 16.
+	if lat != 16 {
+		t.Errorf("cross-L1 access latency = %d, want 16 (L2 hit)", lat)
+	}
+}
+
+func TestFetchAndDataHelpers(t *testing.T) {
+	h := testHierarchy(t)
+	if lat := h.FetchLatency(0x8000); lat != 298 {
+		t.Errorf("FetchLatency cold = %d, want 298", lat)
+	}
+	if lat := h.DataLatency(0x8000, true); lat != 16 {
+		t.Errorf("DataLatency after fetch = %d, want 16 (shared L2)", lat)
+	}
+}
+
+func TestNewCacheRejectsNilNext(t *testing.T) {
+	if _, err := NewCache(DefaultHierarchyConfig().L1I, nil); err == nil {
+		t.Fatal("NewCache accepted nil next level")
+	}
+}

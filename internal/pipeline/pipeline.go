@@ -1,0 +1,315 @@
+// Package pipeline is the timing-approximate performance model of §V:
+// an in-order pipeline charging first-order latency sources — the
+// two-level TLB hierarchy with page walks, the L1/L2/L3/DRAM cache
+// stack, and a hashed-perceptron branch unit with BTB and indirect
+// predictor (20-cycle misprediction penalty). IPC from this model
+// drives the paper's speedup figures (Figures 8 and 10).
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/chirplab/chirp/internal/branch"
+	"github.com/chirplab/chirp/internal/mem"
+	"github.com/chirplab/chirp/internal/paging"
+	"github.com/chirplab/chirp/internal/tlb"
+	"github.com/chirplab/chirp/internal/trace"
+)
+
+// Config parameterises one timing run.
+type Config struct {
+	// Mem is the cache stack (Table II defaults).
+	Mem mem.HierarchyConfig
+	// L1ITLB, L1DTLB, L2TLB are the TLB geometries (Table II defaults).
+	L1ITLB, L1DTLB, L2TLB tlb.Config
+	// L2TLBHitLatency is charged when an L1 TLB miss hits the L2 TLB
+	// (8 cycles in Table II).
+	L2TLBHitLatency uint64
+	// WalkPenalty is the flat L2-TLB-miss penalty (Table II: 20–360
+	// swept; 150 for the headline speedup). Ignored when UseRadixWalker
+	// is set.
+	WalkPenalty uint64
+	// UseRadixWalker replaces the flat penalty with real 4-level walks
+	// through the cache hierarchy (extension X2).
+	UseRadixWalker bool
+	// PSC sizes the radix walker's paging-structure caches.
+	PSC paging.PSCConfig
+	// MispredictPenalty is the front-end redirect cost (Table II: 20).
+	MispredictPenalty uint64
+	// ModelWrongPath, when set, charges mispredictions with wrong-path
+	// instruction fetches that pollute the L1 i-cache (page walks for
+	// wrong-path fetches are assumed squashed before they complete, so
+	// the TLBs and prediction tables stay clean — §VI-E: CHiRP "only
+	// updates the tables of counters at commit with right-path
+	// branches").
+	ModelWrongPath bool
+	// Alloc selects the physical allocator.
+	Alloc paging.AllocPolicy
+	// Instructions bounds the run (0 = drain the source).
+	Instructions uint64
+	// WarmupFraction of instructions warms all structures before IPC
+	// and MPKI measurement begin (the paper warms on the first half).
+	WarmupFraction float64
+}
+
+// DefaultConfig returns the Table II machine with the given
+// instruction budget and page-walk penalty.
+func DefaultConfig(instructions, walkPenalty uint64) Config {
+	return Config{
+		Mem:               mem.DefaultHierarchyConfig(),
+		L1ITLB:            tlb.Config{Name: "L1 iTLB", Entries: 64, Ways: 8, PageShift: 12},
+		L1DTLB:            tlb.Config{Name: "L1 dTLB", Entries: 64, Ways: 8, PageShift: 12},
+		L2TLB:             tlb.Config{Name: "L2 TLB", Entries: 1024, Ways: 8, PageShift: 12},
+		L2TLBHitLatency:   8,
+		WalkPenalty:       walkPenalty,
+		MispredictPenalty: 20,
+		Instructions:      instructions,
+		WarmupFraction:    0.5,
+	}
+}
+
+// Result reports one timing run.
+type Result struct {
+	Policy       string
+	Instructions uint64 // measured (post-warmup)
+	Cycles       uint64 // measured (post-warmup)
+	IPC          float64
+	L2TLBMisses  uint64 // post-warmup
+	MPKI         float64
+	L2TLBStats   tlb.Stats // whole run
+	Efficiency   float64
+
+	BranchAccuracy float64
+	BTBHitRatio    float64
+	IndirectHit    float64
+	PageWalks      uint64
+	AvgWalkCycles  float64
+	PageFaults     uint64
+	DRAMAccesses   uint64
+}
+
+// Machine is one assembled simulated core; build with New, drive with
+// Run.
+type Machine struct {
+	cfg    Config
+	mem    *mem.Hierarchy
+	l1i    *tlb.TLB
+	l1d    *tlb.TLB
+	l2     *tlb.TLB
+	l2pol  tlb.Policy
+	bo     tlb.BranchObserver
+	hasBO  bool
+	space  *paging.Space
+	walker paging.Walker
+	pred   *branch.Perceptron
+	btb    *branch.BTB
+	ind    *branch.Indirect
+}
+
+// New assembles a machine around the injected L2 TLB policy. The L1
+// TLBs always run LRU, matching the paper's setup.
+func New(cfg Config, l2Policy tlb.Policy, l1Factory func() tlb.Policy) (*Machine, error) {
+	if l1Factory == nil {
+		return nil, fmt.Errorf("pipeline: nil L1 policy factory")
+	}
+	h, err := mem.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := tlb.New(cfg.L1ITLB, l1Factory())
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := tlb.New(cfg.L1DTLB, l1Factory())
+	if err != nil {
+		return nil, err
+	}
+	l2, err := tlb.New(cfg.L2TLB, l2Policy)
+	if err != nil {
+		return nil, err
+	}
+	space := paging.NewSpace(cfg.Alloc, 1)
+	var walker paging.Walker
+	if cfg.UseRadixWalker {
+		// PTE fetches enter the hierarchy at the unified L2 cache, as
+		// hardware walkers do.
+		walker = paging.NewRadixWalker(space, h.L2, cfg.PSC)
+	} else {
+		walker = paging.NewFixedWalker(space, cfg.WalkPenalty)
+	}
+	m := &Machine{
+		cfg: cfg, mem: h, l1i: l1i, l1d: l1d, l2: l2, l2pol: l2Policy,
+		space: space, walker: walker,
+		pred: branch.NewPerceptron(branch.DefaultPerceptronConfig()),
+		btb:  branch.NewBTB(4096, 4),
+		ind:  branch.NewIndirect(4096),
+	}
+	m.bo, m.hasBO = l2Policy.(tlb.BranchObserver)
+	return m, nil
+}
+
+// translate resolves va through the two-level TLB hierarchy, returning
+// the physical address and the translation cycles beyond an L1 TLB
+// hit.
+func (m *Machine) translate(l1 *tlb.TLB, pc, va uint64, instr bool) (pa uint64, cycles uint64) {
+	vpn := va >> m.cfg.L2TLB.PageShift
+	a := tlb.Access{PC: pc, VPN: vpn, Instr: instr}
+	if ppn, hit := l1.Lookup(&a); hit {
+		return ppn<<m.cfg.L2TLB.PageShift | va&0xfff, 0
+	}
+	a2 := tlb.Access{PC: pc, VPN: vpn, Instr: instr}
+	if ppn, hit := m.l2.Lookup(&a2); hit {
+		l1.Insert(&a, ppn)
+		return ppn<<m.cfg.L2TLB.PageShift | va&0xfff, m.cfg.L2TLBHitLatency
+	}
+	ppn, walkCycles := m.walker.Walk(vpn)
+	m.l2.Insert(&a2, ppn)
+	l1.Insert(&a, ppn)
+	return ppn<<m.cfg.L2TLB.PageShift | va&0xfff, m.cfg.L2TLBHitLatency + walkCycles
+}
+
+// Run drives src to completion (or the configured budget) and returns
+// the post-warmup result.
+func (m *Machine) Run(src trace.Source) (Result, error) {
+	var (
+		instructions uint64
+		cycles       uint64
+		rec          trace.Record
+
+		warmupAt  = uint64(float64(m.cfg.Instructions) * m.cfg.WarmupFraction)
+		warmed    = warmupAt == 0
+		warmInstr uint64
+		warmCyc   uint64
+		warmMiss  uint64
+	)
+	l1iLat := m.cfg.Mem.L1I.LatencyCycles
+	l1dLat := m.cfg.Mem.L1D.LatencyCycles
+
+	for src.Next(&rec) {
+		instructions += rec.Instructions()
+		cycles += uint64(rec.Skip) + 1 // base CPI of 1
+
+		if !warmed && instructions >= warmupAt {
+			warmed = true
+			warmInstr, warmCyc = instructions, cycles
+			warmMiss = m.l2.Stats().Misses
+		}
+
+		// Fetch: translation plus i-cache beyond the pipelined L1 hit.
+		pa, tcyc := m.translate(m.l1i, rec.PC, rec.PC, true)
+		cycles += tcyc
+		if fl := m.mem.FetchLatency(pa); fl > l1iLat {
+			cycles += fl - l1iLat
+		}
+
+		switch {
+		case rec.Class.IsMemory():
+			pa, tcyc := m.translate(m.l1d, rec.PC, rec.EA, false)
+			cycles += tcyc
+			if dl := m.mem.DataLatency(pa, rec.Class == trace.ClassStore); dl > l1dLat {
+				cycles += dl - l1dLat
+			}
+		case rec.Class == trace.ClassCondBranch:
+			m.pred.Predict(rec.PC) // latches state consumed by Train
+			target, btbHit := m.btb.Lookup(rec.PC)
+			correct := m.pred.Train(rec.Taken)
+			// A taken branch also needs the right target from the BTB.
+			if !correct || (rec.Taken && (!btbHit || target != rec.Target)) {
+				cycles += m.cfg.MispredictPenalty
+				if m.cfg.ModelWrongPath {
+					m.fetchWrongPath(rec.PC, rec.Target, rec.Taken)
+				}
+			}
+			if rec.Taken {
+				m.btb.Update(rec.PC, rec.Target)
+			}
+			if m.hasBO {
+				m.bo.OnBranch(rec.PC, true, false, rec.Taken, rec.Target)
+			}
+		case rec.Class == trace.ClassUncondDirect:
+			target, btbHit := m.btb.Lookup(rec.PC)
+			if !btbHit || target != rec.Target {
+				cycles += m.cfg.MispredictPenalty
+			}
+			m.btb.Update(rec.PC, rec.Target)
+			if m.hasBO {
+				m.bo.OnBranch(rec.PC, false, false, true, rec.Target)
+			}
+		case rec.Class == trace.ClassUncondIndirect:
+			target, hit := m.ind.Predict(rec.PC)
+			if !hit || target != rec.Target {
+				cycles += m.cfg.MispredictPenalty
+			}
+			m.ind.Update(rec.PC, rec.Target)
+			if m.hasBO {
+				m.bo.OnBranch(rec.PC, false, true, true, rec.Target)
+			}
+		}
+
+		if m.cfg.Instructions > 0 && instructions >= m.cfg.Instructions {
+			break
+		}
+	}
+	if !warmed {
+		return Result{}, fmt.Errorf("pipeline: trace ended before warmup (%d < %d instructions)", instructions, warmupAt)
+	}
+
+	m.l2.FlushAccounting()
+	st := m.l2.Stats()
+	res := Result{
+		Policy:         m.l2pol.Name(),
+		Instructions:   instructions - warmInstr,
+		Cycles:         cycles - warmCyc,
+		L2TLBMisses:    st.Misses - warmMiss,
+		L2TLBStats:     st,
+		Efficiency:     st.Efficiency(),
+		BranchAccuracy: m.pred.Accuracy(),
+		BTBHitRatio:    m.btb.HitRatio(),
+		IndirectHit:    m.ind.HitRatio(),
+		PageFaults:     m.space.PageFaults(),
+		DRAMAccesses:   m.mem.DRAM.Accesses(),
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	if res.Instructions > 0 {
+		res.MPKI = float64(res.L2TLBMisses) / (float64(res.Instructions) / 1000)
+	}
+	switch w := m.walker.(type) {
+	case *paging.FixedWalker:
+		res.PageWalks = w.Walks()
+		res.AvgWalkCycles = float64(m.cfg.WalkPenalty)
+	case *paging.RadixWalker:
+		walks, _, _, _ := w.Stats()
+		res.PageWalks = walks
+		res.AvgWalkCycles = w.AverageLatency()
+	}
+	return res, nil
+}
+
+// fetchWrongPath models the fetches issued down the wrong path before
+// a misprediction resolves: a handful of straight-line lines from the
+// not-taken (or wrongly predicted) target enter the L1 i-cache. The
+// lines come from code the program does execute elsewhere, so the
+// pollution is displacement, not garbage.
+func (m *Machine) fetchWrongPath(pc, target uint64, taken bool) {
+	wrong := target
+	if taken {
+		// The branch was taken but we went (or stayed) the wrong way:
+		// fall-through fetches.
+		wrong = pc + 4
+	}
+	const wrongPathLines = 5
+	for i := uint64(0); i < wrongPathLines; i++ {
+		// Virtual-address fetch without translation: wrong-path walks
+		// squash, so charge only the i-cache pollution at the identity
+		// frame (the cache is physically indexed on the same geometry).
+		m.mem.L1I.Access(wrong+i*64, false)
+	}
+}
+
+// Mem exposes the cache hierarchy (for reports and tests).
+func (m *Machine) Mem() *mem.Hierarchy { return m.mem }
+
+// L2TLB exposes the second-level TLB (for reports and tests).
+func (m *Machine) L2TLB() *tlb.TLB { return m.l2 }

@@ -1,0 +1,115 @@
+package policy
+
+import "github.com/chirplab/chirp/internal/tlb"
+
+// DRRIP is Dynamic RRIP [Jaleel et al., ISCA 2010]: set-duelling
+// between SRRIP insertion (long re-reference) and BRRIP insertion
+// (distant re-reference with an occasional long), with a policy
+// selector counter trained by misses in the dedicated leader sets. It
+// extends the paper's SRRIP baseline with the thrash-adaptive variant
+// from the same original paper.
+type DRRIP struct {
+	ways int
+	sets int
+	rrpv []uint8
+
+	// psel is the policy selector: ≥0 favours SRRIP, <0 favours BRRIP.
+	psel    int
+	pselMax int
+
+	// brripCtr throttles BRRIP's rare long-re-reference insertions
+	// (1 in 32).
+	brripCtr uint32
+
+	maxRRPV uint8
+}
+
+// NewDRRIP returns a 2-bit DRRIP with a 10-bit selector.
+func NewDRRIP() *DRRIP { return &DRRIP{maxRRPV: 3, pselMax: 512} }
+
+// Name implements tlb.Policy.
+func (*DRRIP) Name() string { return "drrip" }
+
+// Attach implements tlb.Policy.
+func (p *DRRIP) Attach(sets, ways int) {
+	p.sets, p.ways = sets, ways
+	p.rrpv = make([]uint8, sets*ways)
+	for i := range p.rrpv {
+		p.rrpv[i] = p.maxRRPV
+	}
+}
+
+// leader classifies a set: 0 = SRRIP leader, 1 = BRRIP leader,
+// 2 = follower. One set in 32 leads each policy, in the constituency
+// pattern of the original paper.
+func (p *DRRIP) leader(set uint32) int {
+	switch set & 31 {
+	case 0:
+		return 0
+	case 16:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// OnAccess implements tlb.Policy.
+func (*DRRIP) OnAccess(*tlb.Access) {}
+
+// OnHit implements tlb.Policy: hit promotion.
+func (p *DRRIP) OnHit(set uint32, way int, _ *tlb.Access) {
+	p.rrpv[int(set)*p.ways+way] = 0
+}
+
+// Victim implements tlb.Policy: the SRRIP scan, training the selector
+// when the miss falls in a leader set (a miss is a vote against the
+// leader's policy).
+func (p *DRRIP) Victim(set uint32, _ *tlb.Access) int {
+	switch p.leader(set) {
+	case 0: // SRRIP leader missed → nudge toward BRRIP
+		if p.psel > -p.pselMax {
+			p.psel--
+		}
+	case 1: // BRRIP leader missed → nudge toward SRRIP
+		if p.psel < p.pselMax {
+			p.psel++
+		}
+	}
+	base := int(set) * p.ways
+	for {
+		for w := 0; w < p.ways; w++ {
+			if p.rrpv[base+w] == p.maxRRPV {
+				return w
+			}
+		}
+		for w := 0; w < p.ways; w++ {
+			p.rrpv[base+w]++
+		}
+	}
+}
+
+// OnInsert implements tlb.Policy: leader sets always use their own
+// insertion policy; followers use the selector's winner.
+func (p *DRRIP) OnInsert(set uint32, way int, _ *tlb.Access) {
+	useBRRIP := false
+	switch p.leader(set) {
+	case 0:
+		useBRRIP = false
+	case 1:
+		useBRRIP = true
+	default:
+		useBRRIP = p.psel < 0
+	}
+	rrpv := p.maxRRPV - 1 // SRRIP: long re-reference
+	if useBRRIP {
+		rrpv = p.maxRRPV // BRRIP: distant…
+		p.brripCtr++
+		if p.brripCtr&31 == 0 {
+			rrpv = p.maxRRPV - 1 // …with an occasional long
+		}
+	}
+	p.rrpv[int(set)*p.ways+way] = rrpv
+}
+
+// PSel exposes the selector state (for tests).
+func (p *DRRIP) PSel() int { return p.psel }

@@ -1,0 +1,166 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/chirplab/chirp/internal/tlb"
+)
+
+func TestSDBPSamplerOnlySampledSets(t *testing.T) {
+	p := NewSDBP(4096, 5) // sample sets ≡ 0 (mod 32)
+	p.Attach(128, 8)
+	if _, ok := p.sampled(0); !ok {
+		t.Error("set 0 must be sampled")
+	}
+	if _, ok := p.sampled(32); !ok {
+		t.Error("set 32 must be sampled")
+	}
+	if _, ok := p.sampled(1); ok {
+		t.Error("set 1 must not be sampled")
+	}
+	if _, ok := p.sampled(31); ok {
+		t.Error("set 31 must not be sampled")
+	}
+}
+
+func TestSDBPLearnsFromSampler(t *testing.T) {
+	p := NewSDBP(4096, 0) // sample every set for the test
+	p.Attach(4, 8)
+	const deadPC = 0x4000
+	// Stream never-reused VPNs through sampled set 0: the PC must be
+	// learned dead.
+	for i := uint64(0); i < 200; i++ {
+		a := &tlb.Access{PC: deadPC, VPN: i * 4, Set: 0}
+		p.OnAccess(a)
+	}
+	if !p.predictDead(p.pcSig(deadPC)) {
+		t.Error("streaming PC not learned dead by the sampler")
+	}
+	// A PC whose pages are always reused must look live.
+	const livePC = 0x8000
+	for i := 0; i < 200; i++ {
+		a := &tlb.Access{PC: livePC, VPN: 9, Set: 0}
+		p.OnAccess(a)
+	}
+	if p.predictDead(p.pcSig(livePC)) {
+		t.Error("reused PC learned dead")
+	}
+}
+
+func TestSDBPVictimDeadFirst(t *testing.T) {
+	p := NewSDBP(4096, 5)
+	p.Attach(8, 4)
+	a := &tlb.Access{PC: 0x100, VPN: 1, Set: 3}
+	for w := 0; w < 4; w++ {
+		p.OnInsert(3, w, a)
+	}
+	p.dead[3*4+2] = true
+	if got := p.Victim(3, a); got != 2 {
+		t.Errorf("victim = %d, want dead way 2", got)
+	}
+}
+
+func TestDRRIPSelectorMoves(t *testing.T) {
+	p := NewDRRIP()
+	p.Attach(64, 4)
+	a := &tlb.Access{}
+	// Misses in the SRRIP leader (set 0) push the selector down.
+	for w := 0; w < 4; w++ {
+		p.OnInsert(0, w, a)
+	}
+	before := p.PSel()
+	p.Victim(0, a)
+	if p.PSel() >= before {
+		t.Errorf("SRRIP-leader miss did not decrement PSEL: %d → %d", before, p.PSel())
+	}
+	// Misses in the BRRIP leader (set 16) push it up.
+	for w := 0; w < 4; w++ {
+		p.OnInsert(16, w, a)
+	}
+	before = p.PSel()
+	p.Victim(16, a)
+	if p.PSel() <= before {
+		t.Errorf("BRRIP-leader miss did not increment PSEL: %d → %d", before, p.PSel())
+	}
+}
+
+func TestDRRIPBRRIPInsertsDistant(t *testing.T) {
+	p := NewDRRIP()
+	p.Attach(64, 4)
+	a := &tlb.Access{}
+	// Set 16 is the BRRIP leader: most insertions land at maxRRPV.
+	distant := 0
+	for i := 0; i < 64; i++ {
+		p.OnInsert(16, i%4, a)
+		if p.rrpv[16*4+i%4] == 3 {
+			distant++
+		}
+	}
+	if distant < 56 {
+		t.Errorf("BRRIP leader distant insertions = %d/64, want most", distant)
+	}
+	// Set 0 is the SRRIP leader: insertions at maxRRPV-1.
+	p.OnInsert(0, 0, a)
+	if p.rrpv[0] != 2 {
+		t.Errorf("SRRIP leader insertion RRPV = %d, want 2", p.rrpv[0])
+	}
+}
+
+func TestDRRIPAdaptsToThrash(t *testing.T) {
+	// Cyclic thrash defeats SRRIP insertion; DRRIP must switch to
+	// BRRIP and retain part of the working set.
+	build := func() []uint64 {
+		var vpns []uint64
+		for rep := 0; rep < 300; rep++ {
+			for v := uint64(0); v < 40; v++ { // 40 pages cycling in 32 entries
+				vpns = append(vpns, v)
+			}
+		}
+		return vpns
+	}
+	srripHits, _ := runSequence(t, NewSRRIP(), 32, 4, build())
+	drripHits, _ := runSequence(t, NewDRRIP(), 32, 4, build())
+	if drripHits <= srripHits {
+		t.Errorf("DRRIP hits (%d) must beat SRRIP hits (%d) under cyclic thrash", drripHits, srripHits)
+	}
+}
+
+func TestPerceptronReuseLearnsStreams(t *testing.T) {
+	p := NewPerceptronReuse(1024)
+	tl, err := tlb.New(tlb.Config{Name: "t", Entries: 8, Ways: 8, PageShift: 12}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := []uint64{1, 2, 3, 4}
+	next := uint64(100)
+	for rep := 0; rep < 500; rep++ {
+		for _, h := range hot {
+			a := &tlb.Access{PC: 0x4000, VPN: h}
+			if _, hit := tl.Lookup(a); !hit {
+				tl.Insert(a, h)
+			}
+		}
+		a := &tlb.Access{PC: 0x8000, VPN: next}
+		next++
+		if _, hit := tl.Lookup(a); !hit {
+			tl.Insert(a, a.VPN)
+		}
+	}
+	st := tl.Stats()
+	if float64(st.Hits)/float64(st.Accesses) < 0.7 {
+		t.Errorf("perceptron hit ratio %.3f too low", float64(st.Hits)/float64(st.Accesses))
+	}
+	r, w := p.TableAccesses()
+	if r == 0 || w == 0 {
+		t.Error("perceptron table accounting not recording")
+	}
+}
+
+func TestPerceptronSizePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two size")
+		}
+	}()
+	NewPerceptronReuse(1000)
+}

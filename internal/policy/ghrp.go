@@ -1,0 +1,152 @@
+package policy
+
+import "github.com/chirplab/chirp/internal/tlb"
+
+// GHRP is Global History Reuse Prediction [Mirbagher-Ajorpaz et al.,
+// ISCA 2018] — the state-of-the-art predictive replacement policy for
+// instruction caches and BTBs — adapted to the L2 TLB (§II-C). Like a
+// branch predictor it folds the global history of conditional branch
+// outcomes together with low-order branch address bits into a
+// signature; three skewed tables of saturating counters are read and
+// summed on *every* access to predict whether the touched entry is
+// dead, and trained on evictions (dead) and reuses (live).
+//
+// The three-table organisation is what CHiRP's single-table signature
+// later eliminates (§VI-H: CHiRP reduces hardware by two-thirds).
+type GHRP struct {
+	ways int
+
+	// outcomeHist is the global conditional-branch outcome history.
+	outcomeHist uint64
+	// addrHist folds low-order branch address bits, one nibble per
+	// branch.
+	addrHist uint64
+
+	tables [3]*CounterTable
+	// deadThreshold: a summed counter value strictly above it predicts
+	// dead (counters are 2-bit, so the sum ranges 0..9).
+	deadThreshold uint8
+
+	sig  []uint64 // per-entry signature at last access
+	dead []bool   // per-entry dead prediction
+	rec  *tlb.Recency
+
+	reads, writes uint64
+}
+
+// NewGHRP returns GHRP with three tableSize-entry (power of two)
+// tables of 2-bit counters.
+func NewGHRP(tableSize int) *GHRP {
+	g := &GHRP{deadThreshold: 7}
+	for i := range g.tables {
+		g.tables[i] = NewCounterTable(tableSize, 2)
+	}
+	return g
+}
+
+// Name implements tlb.Policy.
+func (*GHRP) Name() string { return "ghrp" }
+
+// Attach implements tlb.Policy.
+func (g *GHRP) Attach(sets, ways int) {
+	g.ways = ways
+	g.sig = make([]uint64, sets*ways)
+	g.dead = make([]bool, sets*ways)
+	g.rec = tlb.NewRecency(sets, ways)
+}
+
+// OnBranch implements tlb.BranchObserver: record conditional outcomes
+// and fold branch address bits, as the ISCA 2018 design does.
+func (g *GHRP) OnBranch(pc uint64, conditional, _ /*indirect*/, taken bool, _ uint64) {
+	if conditional {
+		bit := uint64(0)
+		if taken {
+			bit = 1
+		}
+		g.outcomeHist = g.outcomeHist<<1 | bit
+	}
+	g.addrHist = g.addrHist<<4 | (pc>>2)&0xf
+}
+
+// signature combines the accessing PC with both global histories.
+func (g *GHRP) signature(pc uint64) uint64 {
+	return (pc >> 2) ^ (g.outcomeHist & 0xffff) ^ (g.addrHist&0xffffffff)<<13
+}
+
+// indices derives the three skewed table indices from a signature.
+func (g *GHRP) indices(sig uint64) [3]uint64 {
+	var idx [3]uint64
+	for i := range idx {
+		idx[i] = g.tables[i].Index(sig + uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return idx
+}
+
+// predictDead sums the three counters for sig and thresholds.
+func (g *GHRP) predictDead(sig uint64) bool {
+	idx := g.indices(sig)
+	// One prediction = one parallel read of the three banks; Figure 11
+	// counts prediction-table access events, not banks.
+	g.reads++
+	sum := uint8(0)
+	for i := range g.tables {
+		sum += g.tables[i].Read(idx[i])
+	}
+	return sum > g.deadThreshold
+}
+
+// train moves the counters for sig toward dead (true) or live (false).
+func (g *GHRP) train(sig uint64, dead bool) {
+	idx := g.indices(sig)
+	g.writes++
+	for i := range g.tables {
+		if dead {
+			g.tables[i].Inc(idx[i])
+		} else {
+			g.tables[i].Dec(idx[i])
+		}
+	}
+}
+
+// OnAccess implements tlb.Policy.
+func (*GHRP) OnAccess(*tlb.Access) {}
+
+// OnHit implements tlb.Policy: the entry proved live under its stored
+// signature — train toward live, then re-predict under the current
+// signature. This read+write on every hit is exactly the table
+// traffic Figure 11 charges GHRP for.
+func (g *GHRP) OnHit(set uint32, way int, a *tlb.Access) {
+	g.rec.Touch(set, way)
+	i := int(set)*g.ways + way
+	g.train(g.sig[i], false)
+	sig := g.signature(a.PC)
+	g.sig[i] = sig
+	g.dead[i] = g.predictDead(sig)
+}
+
+// Victim implements tlb.Policy: prefer a predicted-dead entry, else
+// LRU; train the LRU victim's signature toward dead.
+func (g *GHRP) Victim(set uint32, _ *tlb.Access) int {
+	base := int(set) * g.ways
+	for w := 0; w < g.ways; w++ {
+		if g.dead[base+w] {
+			return w
+		}
+	}
+	way := g.rec.LRU(set)
+	g.train(g.sig[base+way], true)
+	return way
+}
+
+// OnInsert implements tlb.Policy: predict the incoming entry under the
+// current signature.
+func (g *GHRP) OnInsert(set uint32, way int, a *tlb.Access) {
+	g.rec.Touch(set, way)
+	i := int(set)*g.ways + way
+	sig := g.signature(a.PC)
+	g.sig[i] = sig
+	g.dead[i] = g.predictDead(sig)
+}
+
+// TableAccesses implements tlb.TableAccounting.
+func (g *GHRP) TableAccesses() (reads, writes uint64) { return g.reads, g.writes }

@@ -1,0 +1,31 @@
+package policy
+
+import "github.com/chirplab/chirp/internal/tlb"
+
+// LRU is exact least-recently-used replacement — the policy recent TLB
+// literature assumes (§I) and the baseline every paper number is
+// normalised to.
+type LRU struct {
+	rec *tlb.Recency
+}
+
+// NewLRU returns an LRU policy.
+func NewLRU() *LRU { return &LRU{} }
+
+// Name implements tlb.Policy.
+func (*LRU) Name() string { return "lru" }
+
+// Attach implements tlb.Policy.
+func (p *LRU) Attach(sets, ways int) { p.rec = tlb.NewRecency(sets, ways) }
+
+// OnAccess implements tlb.Policy.
+func (*LRU) OnAccess(*tlb.Access) {}
+
+// OnHit implements tlb.Policy.
+func (p *LRU) OnHit(set uint32, way int, _ *tlb.Access) { p.rec.Touch(set, way) }
+
+// Victim implements tlb.Policy.
+func (p *LRU) Victim(set uint32, _ *tlb.Access) int { return p.rec.LRU(set) }
+
+// OnInsert implements tlb.Policy.
+func (p *LRU) OnInsert(set uint32, way int, _ *tlb.Access) { p.rec.Touch(set, way) }

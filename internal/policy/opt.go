@@ -1,0 +1,94 @@
+package policy
+
+import "github.com/chirplab/chirp/internal/tlb"
+
+// OPT implements Bélády's optimal replacement [Bélády 1966] for the
+// L2 TLB as an offline upper bound (extension X1 in DESIGN.md): on a
+// miss it evicts the resident entry whose next use lies farthest in
+// the future. It needs an Oracle built from a first pass over the L2
+// access stream; because the L1 TLBs always use LRU, the L2 access
+// stream is identical for every L2 policy, so one pre-pass serves all.
+type OPT struct {
+	oracle *Oracle
+	ways   int
+	pos    uint64   // index of the current access within the oracle stream
+	next   []uint64 // per-entry next-use position (NeverUsed if none)
+}
+
+// NeverUsed marks an entry that is never accessed again.
+const NeverUsed = ^uint64(0)
+
+// Oracle holds, for every position i of the L2 TLB access stream, the
+// position of the next access to the same VPN.
+type Oracle struct {
+	nextUse []uint64
+}
+
+// BuildOracle computes next-use positions for a VPN access sequence.
+func BuildOracle(vpns []uint64) *Oracle {
+	next := make([]uint64, len(vpns))
+	last := make(map[uint64]int, 1024)
+	for i := len(vpns) - 1; i >= 0; i-- {
+		if j, ok := last[vpns[i]]; ok {
+			next[i] = uint64(j)
+		} else {
+			next[i] = NeverUsed
+		}
+		last[vpns[i]] = i
+	}
+	return &Oracle{nextUse: next}
+}
+
+// Len returns the length of the recorded access stream.
+func (o *Oracle) Len() int { return len(o.nextUse) }
+
+// NewOPT returns the optimal policy driven by oracle.
+func NewOPT(oracle *Oracle) *OPT { return &OPT{oracle: oracle} }
+
+// Name implements tlb.Policy.
+func (*OPT) Name() string { return "opt" }
+
+// Attach implements tlb.Policy.
+func (p *OPT) Attach(sets, ways int) {
+	p.ways = ways
+	p.next = make([]uint64, sets*ways)
+}
+
+// OnAccess implements tlb.Policy: advance the stream cursor.
+func (p *OPT) OnAccess(*tlb.Access) { p.pos++ }
+
+func (p *OPT) nextUseOfCurrent() uint64 {
+	i := p.pos - 1 // OnAccess already advanced past the current access
+	if i >= uint64(p.oracle.Len()) {
+		// The simulated stream ran past the oracle (should not happen
+		// when the pre-pass used the same trace); treat as never used.
+		return NeverUsed
+	}
+	return p.oracle.nextUse[i]
+}
+
+// OnHit implements tlb.Policy.
+func (p *OPT) OnHit(set uint32, way int, _ *tlb.Access) {
+	p.next[int(set)*p.ways+way] = p.nextUseOfCurrent()
+}
+
+// Victim implements tlb.Policy: evict the entry reused farthest in the
+// future (or never).
+func (p *OPT) Victim(set uint32, _ *tlb.Access) int {
+	base := int(set) * p.ways
+	best, bestNext := 0, uint64(0)
+	for w := 0; w < p.ways; w++ {
+		if n := p.next[base+w]; n >= bestNext {
+			best, bestNext = w, n
+			if n == NeverUsed {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// OnInsert implements tlb.Policy.
+func (p *OPT) OnInsert(set uint32, way int, _ *tlb.Access) {
+	p.next[int(set)*p.ways+way] = p.nextUseOfCurrent()
+}

@@ -1,0 +1,155 @@
+package policy
+
+import "github.com/chirplab/chirp/internal/tlb"
+
+// PerceptronReuse adapts perceptron-based reuse prediction [Teran,
+// Wang & Jiménez, MICRO 2016; Jiménez & Teran's multiperspective
+// follow-up, both cited by the paper §II-D] to the L2 TLB: several
+// feature tables of small signed weights are indexed by different
+// hashes of the access context (PC slices, the VPN's low bits, and a
+// short PC history), their weights are summed and thresholded to
+// predict death, and training adjusts only when the prediction was
+// wrong or the margin was small.
+//
+// It is an extension baseline: stronger than one-table SHiP-style
+// counters, but unlike CHiRP it reads several tables per prediction —
+// the latency/energy trade the paper's single-table signature design
+// avoids (§II).
+type PerceptronReuse struct {
+	ways int
+
+	tables  [][]int8
+	size    int
+	theta   int
+	history uint64 // folded recent-PC history feature
+
+	sig  [][4]uint16 // per-entry feature indices at last access
+	yout []int16     // per-entry sum at last prediction
+	dead []bool
+	rec  *tlb.Recency
+
+	reads, writes uint64
+}
+
+// perceptronFeatures is the number of feature tables.
+const perceptronFeatures = 4
+
+// NewPerceptronReuse builds the predictor with size-entry weight
+// tables (power of two).
+func NewPerceptronReuse(size int) *PerceptronReuse {
+	if size <= 0 || size&(size-1) != 0 {
+		panic("policy: perceptron table size must be a power of two")
+	}
+	p := &PerceptronReuse{size: size, theta: 6}
+	p.tables = make([][]int8, perceptronFeatures)
+	for i := range p.tables {
+		p.tables[i] = make([]int8, size)
+	}
+	return p
+}
+
+// Name implements tlb.Policy.
+func (*PerceptronReuse) Name() string { return "perceptron" }
+
+// Attach implements tlb.Policy.
+func (p *PerceptronReuse) Attach(sets, ways int) {
+	p.ways = ways
+	n := sets * ways
+	p.sig = make([][4]uint16, n)
+	p.yout = make([]int16, n)
+	p.dead = make([]bool, n)
+	p.rec = tlb.NewRecency(sets, ways)
+}
+
+// features derives the four table indices for an access.
+func (p *PerceptronReuse) features(a *tlb.Access) [4]uint16 {
+	m := uint64(p.size - 1)
+	return [4]uint16{
+		uint16(Mix64(a.PC>>2) & m),
+		uint16(Mix64(a.PC>>6^0xabcd) & m),
+		uint16(Mix64(a.VPN&0xff^0x1234) & m),
+		uint16(Mix64(p.history) & m),
+	}
+}
+
+// predict sums the feature weights; above-threshold sums predict dead.
+func (p *PerceptronReuse) predict(f [4]uint16) (sum int, dead bool) {
+	p.reads++
+	for i := range p.tables {
+		sum += int(p.tables[i][f[i]])
+	}
+	return sum, sum > 0
+}
+
+// train applies the perceptron rule: update weights toward the
+// outcome only on mispredictions or small margins.
+func (p *PerceptronReuse) train(f [4]uint16, ysum int, dead bool) {
+	mispredict := (ysum > 0) != dead
+	if !mispredict && abs(ysum) > p.theta {
+		return
+	}
+	p.writes++
+	for i := range p.tables {
+		w := &p.tables[i][f[i]]
+		if dead {
+			if *w < 31 {
+				*w++
+			}
+		} else {
+			if *w > -32 {
+				*w--
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// OnAccess implements tlb.Policy: fold the PC into the history
+// feature.
+func (p *PerceptronReuse) OnAccess(a *tlb.Access) {
+	p.history = p.history<<3 ^ (a.PC >> 2 & 0x7) ^ p.history>>61
+}
+
+// OnHit implements tlb.Policy: the entry proved live — train its last
+// features toward live, then re-predict under the current context.
+func (p *PerceptronReuse) OnHit(set uint32, way int, a *tlb.Access) {
+	p.rec.Touch(set, way)
+	i := int(set)*p.ways + way
+	p.train(p.sig[i], int(p.yout[i]), false)
+	f := p.features(a)
+	sum, dead := p.predict(f)
+	p.sig[i], p.yout[i], p.dead[i] = f, int16(sum), dead
+}
+
+// Victim implements tlb.Policy: predicted-dead first, else LRU (whose
+// eviction trains the victim's features toward dead).
+func (p *PerceptronReuse) Victim(set uint32, _ *tlb.Access) int {
+	base := int(set) * p.ways
+	for w := 0; w < p.ways; w++ {
+		if p.dead[base+w] {
+			return w
+		}
+	}
+	way := p.rec.LRU(set)
+	i := base + way
+	p.train(p.sig[i], int(p.yout[i]), true)
+	return way
+}
+
+// OnInsert implements tlb.Policy.
+func (p *PerceptronReuse) OnInsert(set uint32, way int, a *tlb.Access) {
+	p.rec.Touch(set, way)
+	i := int(set)*p.ways + way
+	f := p.features(a)
+	sum, dead := p.predict(f)
+	p.sig[i], p.yout[i], p.dead[i] = f, int16(sum), dead
+}
+
+// TableAccesses implements tlb.TableAccounting.
+func (p *PerceptronReuse) TableAccesses() (reads, writes uint64) { return p.reads, p.writes }

@@ -1,0 +1,100 @@
+// Package policy implements the baseline TLB replacement policies the
+// paper evaluates against CHiRP: true-LRU, Random, SRRIP [Jaleel et
+// al., ISCA 2010], SHiP adapted to the TLB as described in §II-B/§III
+// [Wu et al., MICRO 2011], GHRP adapted to the TLB [Mirbagher-Ajorpaz
+// et al., ISCA 2018], plus an offline Bélády OPT upper bound as an
+// extension.
+//
+// CHiRP itself — the paper's contribution — lives in internal/core.
+package policy
+
+// Mix64 is a 64-bit finalizer-style hash (splitmix64 finalizer). All
+// predictive policies use it to index their tables so aliasing is
+// uniform and reproducible.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SatCounter is an n-bit saturating counter stored in a uint8.
+type SatCounter struct {
+	v   uint8
+	max uint8
+}
+
+// Inc increments toward the maximum.
+func (c *SatCounter) Inc() {
+	if c.v < c.max {
+		c.v++
+	}
+}
+
+// Dec decrements toward zero.
+func (c *SatCounter) Dec() {
+	if c.v > 0 {
+		c.v--
+	}
+}
+
+// Value returns the current counter value.
+func (c *SatCounter) Value() uint8 { return c.v }
+
+// CounterTable is a table of n-bit saturating counters.
+type CounterTable struct {
+	counters []uint8
+	max      uint8
+	mask     uint64
+}
+
+// NewCounterTable builds a table with size entries (must be a power of
+// two) of bits-wide counters, all initialised to zero.
+func NewCounterTable(size int, bits uint) *CounterTable {
+	if size <= 0 || size&(size-1) != 0 {
+		panic("policy: counter table size must be a positive power of two")
+	}
+	if bits == 0 || bits > 8 {
+		panic("policy: counter width must be 1..8 bits")
+	}
+	return &CounterTable{
+		counters: make([]uint8, size),
+		max:      uint8(1<<bits - 1),
+		mask:     uint64(size - 1),
+	}
+}
+
+// Size returns the number of counters.
+func (t *CounterTable) Size() int { return len(t.counters) }
+
+// Max returns the saturation value.
+func (t *CounterTable) Max() uint8 { return t.max }
+
+// Index maps an arbitrary signature onto a table slot.
+func (t *CounterTable) Index(sig uint64) uint64 { return Mix64(sig) & t.mask }
+
+// Read returns the counter at idx.
+func (t *CounterTable) Read(idx uint64) uint8 { return t.counters[idx] }
+
+// Inc saturating-increments the counter at idx.
+func (t *CounterTable) Inc(idx uint64) {
+	if c := t.counters[idx]; c < t.max {
+		t.counters[idx] = c + 1
+	}
+}
+
+// Dec saturating-decrements the counter at idx.
+func (t *CounterTable) Dec(idx uint64) {
+	if c := t.counters[idx]; c > 0 {
+		t.counters[idx] = c - 1
+	}
+}
+
+// StorageBits returns the table's storage cost in bits, for the
+// hardware-budget reports.
+func (t *CounterTable) StorageBits() int {
+	bits := 0
+	for m := t.max; m > 0; m >>= 1 {
+		bits++
+	}
+	return bits * len(t.counters)
+}

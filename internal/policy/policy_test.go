@@ -1,0 +1,421 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/chirplab/chirp/internal/tlb"
+)
+
+func TestMix64Distributes(t *testing.T) {
+	// Consecutive inputs must not collide in the low bits.
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 4096; i++ {
+		seen[Mix64(i)&0xfff] = true
+	}
+	if len(seen) < 2500 {
+		t.Errorf("Mix64 low 12 bits cover only %d/4096 slots for consecutive inputs", len(seen))
+	}
+	if Mix64(1) == Mix64(2) {
+		t.Error("trivial collision")
+	}
+}
+
+func TestSatCounter(t *testing.T) {
+	c := SatCounter{max: 3}
+	for i := 0; i < 10; i++ {
+		c.Inc()
+	}
+	if c.Value() != 3 {
+		t.Errorf("saturated value = %d, want 3", c.Value())
+	}
+	for i := 0; i < 10; i++ {
+		c.Dec()
+	}
+	if c.Value() != 0 {
+		t.Errorf("floored value = %d, want 0", c.Value())
+	}
+}
+
+func TestCounterTable(t *testing.T) {
+	tb := NewCounterTable(16, 2)
+	if tb.Size() != 16 || tb.Max() != 3 {
+		t.Fatalf("size/max = %d/%d, want 16/3", tb.Size(), tb.Max())
+	}
+	idx := tb.Index(0xdeadbeef)
+	if idx >= 16 {
+		t.Fatalf("Index out of range: %d", idx)
+	}
+	for i := 0; i < 5; i++ {
+		tb.Inc(idx)
+	}
+	if tb.Read(idx) != 3 {
+		t.Errorf("after 5 Incs counter = %d, want 3 (saturated)", tb.Read(idx))
+	}
+	for i := 0; i < 5; i++ {
+		tb.Dec(idx)
+	}
+	if tb.Read(idx) != 0 {
+		t.Errorf("after 5 Decs counter = %d, want 0", tb.Read(idx))
+	}
+	if got := tb.StorageBits(); got != 32 {
+		t.Errorf("StorageBits = %d, want 32", got)
+	}
+}
+
+func TestCounterTablePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewCounterTable(0, 2) },
+		func() { NewCounterTable(3, 2) },
+		func() { NewCounterTable(16, 0) },
+		func() { NewCounterTable(16, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid counter table config")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// runSequence pushes a sequence of VPN accesses (with the given PC)
+// through a small TLB under p and returns hits.
+func runSequence(t *testing.T, p tlb.Policy, entries, ways int, vpns []uint64) (hits, misses uint64) {
+	t.Helper()
+	tl, err := tlb.New(tlb.Config{Name: "t", Entries: entries, Ways: ways, PageShift: 12}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vpns {
+		a := &tlb.Access{PC: 0x1000 + (v&7)*4, VPN: v}
+		if _, hit := tl.Lookup(a); !hit {
+			tl.Insert(a, v)
+		}
+	}
+	st := tl.Stats()
+	return st.Hits, st.Misses
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	p := NewLRU()
+	tl, err := tlb.New(tlb.Config{Name: "t", Entries: 4, Ways: 4, PageShift: 12}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touch := func(v uint64) {
+		a := &tlb.Access{VPN: v}
+		if _, hit := tl.Lookup(a); !hit {
+			tl.Insert(a, v)
+		}
+	}
+	for _, v := range []uint64{1, 2, 3, 4} {
+		touch(v)
+	}
+	touch(1) // 2 is now LRU
+	touch(5) // evicts 2
+	if tl.Contains(2) {
+		t.Error("LRU failed to evict least-recently-used VPN 2")
+	}
+	for _, v := range []uint64{1, 3, 4, 5} {
+		if !tl.Contains(v) {
+			t.Errorf("VPN %d should be resident", v)
+		}
+	}
+}
+
+func TestLRUCyclicThrash(t *testing.T) {
+	// Classic LRU pathology: cyclic access to ways+1 items yields zero
+	// hits after warmup.
+	vpns := make([]uint64, 0, 500)
+	for i := 0; i < 100; i++ {
+		for v := uint64(0); v < 5; v++ {
+			vpns = append(vpns, v*4) // same set (4 sets? entries=4, ways=4 → 1 set)
+		}
+	}
+	hits, _ := runSequence(t, NewLRU(), 4, 4, vpns)
+	if hits != 0 {
+		t.Errorf("LRU on cyclic overload got %d hits, want 0", hits)
+	}
+	// Random keeps some residency on the same pattern.
+	rhits, _ := runSequence(t, NewRandom(1), 4, 4, vpns)
+	if rhits == 0 {
+		t.Error("Random on cyclic overload got 0 hits; expected some")
+	}
+}
+
+func TestRandomVictimInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := NewRandom(seed)
+		p.Attach(4, 8)
+		for i := 0; i < 100; i++ {
+			if w := p.Victim(0, nil); w < 0 || w >= 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSRRIPScanResistance(t *testing.T) {
+	// A small hot loop plus a long one-shot scan: SRRIP must keep more
+	// of the hot loop resident than LRU.
+	build := func() []uint64 {
+		var vpns []uint64
+		hot := []uint64{0, 8, 16, 24} // 4 hot pages in set 0 of an 8-set TLB
+		for rep := 0; rep < 200; rep++ {
+			for _, h := range hot {
+				vpns = append(vpns, h, h, h) // reuse each hot page
+			}
+			// Scan through 8 never-reused pages mapping to set 0 — long
+			// enough to flush LRU (8-way set), short enough that SRRIP's
+			// ageing keeps the hot pages resident.
+			for s := uint64(0); s < 8; s++ {
+				vpns = append(vpns, 1000*8+(s+uint64(rep)*8)*8)
+			}
+		}
+		return vpns
+	}
+	lruHits, _ := runSequence(t, NewLRU(), 64, 8, build())
+	srripHits, _ := runSequence(t, NewSRRIP(), 64, 8, build())
+	if srripHits <= lruHits {
+		t.Errorf("SRRIP hits (%d) must beat LRU hits (%d) under scanning", srripHits, lruHits)
+	}
+}
+
+func TestSRRIPVictimAging(t *testing.T) {
+	p := NewSRRIP()
+	p.Attach(1, 4)
+	a := &tlb.Access{}
+	// All inserted at RRPV 2; a victim search must age everyone to 3
+	// and return way 0.
+	for w := 0; w < 4; w++ {
+		p.OnInsert(0, w, a)
+	}
+	if w := p.Victim(0, a); w != 0 {
+		t.Errorf("victim = %d, want 0", w)
+	}
+	// Promote way 1; next victim must skip it... way 0 is already 3.
+	p.OnHit(0, 1, a)
+	if w := p.Victim(0, a); w != 0 {
+		t.Errorf("victim after promote = %d, want 0", w)
+	}
+}
+
+func TestSHiPLearnsDeadPCs(t *testing.T) {
+	// One PC inserts pages that are never reused; another PC inserts
+	// pages that are always reused. After warmup, SHiP must insert the
+	// dead PC's pages at distant RRPV (immediately evictable).
+	p := NewSHiP(1024)
+	tl, err := tlb.New(tlb.Config{Name: "t", Entries: 8, Ways: 8, PageShift: 12}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deadPC, livePC = 0x4000, 0x8000
+	next := uint64(100)
+	// Interleave: hot pages (reused) from livePC, streaming pages from
+	// deadPC.
+	hot := []uint64{1, 2, 3, 4}
+	for rep := 0; rep < 400; rep++ {
+		for _, h := range hot {
+			a := &tlb.Access{PC: livePC, VPN: h}
+			if _, hit := tl.Lookup(a); !hit {
+				tl.Insert(a, h)
+			}
+		}
+		a := &tlb.Access{PC: deadPC, VPN: next}
+		next++
+		if _, hit := tl.Lookup(a); !hit {
+			tl.Insert(a, a.VPN)
+		}
+	}
+	st := tl.Stats()
+	// The 4 hot pages must stay resident: at least ~75% hit ratio.
+	if float64(st.Hits)/float64(st.Accesses) < 0.7 {
+		t.Errorf("SHiP hit ratio %.3f too low; dead-PC insertions are evicting the hot set", float64(st.Hits)/float64(st.Accesses))
+	}
+	for _, h := range hot {
+		if !tl.Contains(h) {
+			t.Errorf("hot VPN %d evicted by streaming insertions", h)
+		}
+	}
+	r, w := p.TableAccesses()
+	if r == 0 || w == 0 {
+		t.Error("SHiP table accounting not recording")
+	}
+}
+
+func TestSHiPVariantNames(t *testing.T) {
+	if NewSHiP(64).Name() != "ship" {
+		t.Error("ship name")
+	}
+	if NewSHiPUnlimited().Name() != "ship-unlimited" {
+		t.Error("ship-unlimited name")
+	}
+	if NewSHiPSampled(64, 2).Name() != "ship-sampled" {
+		t.Error("ship-sampled name")
+	}
+}
+
+func TestSHiPUnlimitedNoAliasing(t *testing.T) {
+	p := NewSHiPUnlimited()
+	p.Attach(8, 8)
+	// Train two different signatures in opposite directions; with the
+	// map-backed SHCT they can never alias.
+	p.shctInc(1)
+	p.shctInc(1)
+	p.shctDec(2)
+	if p.shctRead(1) != 2 {
+		t.Errorf("sig 1 counter = %d, want 2", p.shctRead(1))
+	}
+	if p.shctRead(2) != 0 {
+		t.Errorf("sig 2 counter = %d, want 0", p.shctRead(2))
+	}
+}
+
+func TestSHiPSampledOnlyPredictsSampledSets(t *testing.T) {
+	p := NewSHiPSampled(1024, 2) // predicts sets ≡ 0 (mod 4)
+	if !p.predicted(0) || !p.predicted(4) {
+		t.Error("sets 0 and 4 must be predicted")
+	}
+	if p.predicted(1) || p.predicted(3) || p.predicted(7) {
+		t.Error("non-multiple-of-4 sets must not be predicted")
+	}
+}
+
+func TestGHRPDistinguishesBranchContexts(t *testing.T) {
+	// The same access PC preceded by different branch histories must
+	// produce different signatures.
+	g := NewGHRP(4096)
+	g.Attach(8, 8)
+	g.OnBranch(0x100, true, false, true, 0x200)
+	s1 := g.signature(0x5000)
+	g.OnBranch(0x300, true, false, false, 0x400)
+	s2 := g.signature(0x5000)
+	if s1 == s2 {
+		t.Error("branch history must change the GHRP signature")
+	}
+}
+
+func TestGHRPVictimPrefersDead(t *testing.T) {
+	g := NewGHRP(4096)
+	g.Attach(1, 4)
+	a := &tlb.Access{PC: 0x1000}
+	for w := 0; w < 4; w++ {
+		g.OnInsert(0, w, a)
+	}
+	// Force way 2 to look dead.
+	g.dead[2] = true
+	if w := g.Victim(0, a); w != 2 {
+		t.Errorf("victim = %d, want dead way 2", w)
+	}
+	// With no dead entries, fall back to LRU (way 0 was touched first).
+	g.dead[2] = false
+	if w := g.Victim(0, a); w != 0 {
+		t.Errorf("LRU fallback victim = %d, want 0", w)
+	}
+}
+
+func TestGHRPTableTrafficOnEveryHit(t *testing.T) {
+	g := NewGHRP(4096)
+	tl, err := tlb.New(tlb.Config{Name: "t", Entries: 64, Ways: 8, PageShift: 12}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &tlb.Access{PC: 0x1000, VPN: 5}
+	tl.Lookup(a)
+	tl.Insert(a, 5)
+	r0, w0 := g.TableAccesses()
+	for i := 0; i < 10; i++ {
+		tl.Lookup(a)
+	}
+	r1, w1 := g.TableAccesses()
+	if r1-r0 < 10 || w1-w0 < 10 {
+		t.Errorf("GHRP must read+write tables on every hit: Δreads=%d Δwrites=%d", r1-r0, w1-w0)
+	}
+}
+
+func TestOPTOracleNextUse(t *testing.T) {
+	vpns := []uint64{1, 2, 1, 3, 2, 1}
+	o := BuildOracle(vpns)
+	want := []uint64{2, 4, 5, NeverUsed, NeverUsed, NeverUsed}
+	for i, w := range want {
+		if o.nextUse[i] != w {
+			t.Errorf("nextUse[%d] = %d, want %d", i, o.nextUse[i], w)
+		}
+	}
+}
+
+func TestOPTBeatsLRUOnCycle(t *testing.T) {
+	// Cyclic access to 5 pages in a 4-way set: LRU gets 0 hits, OPT
+	// must keep 3 of them resident (hit ratio 3/5 asymptotically).
+	var vpns []uint64
+	for rep := 0; rep < 100; rep++ {
+		for v := uint64(0); v < 5; v++ {
+			vpns = append(vpns, v*4)
+		}
+	}
+	oracle := BuildOracle(vpns)
+	p := NewOPT(oracle)
+	optHits, _ := runSequence(t, p, 4, 4, vpns)
+	lruHits, _ := runSequence(t, NewLRU(), 4, 4, vpns)
+	if lruHits != 0 {
+		t.Fatalf("LRU hits = %d, want 0 on cyclic overload", lruHits)
+	}
+	if optHits < 250 {
+		t.Errorf("OPT hits = %d, want ≥ 250 of 500 accesses", optHits)
+	}
+}
+
+func TestOPTIsUpperBound(t *testing.T) {
+	// On a pseudo-random but skewed stream, OPT must beat every online
+	// policy we ship.
+	rng := newTestRNG(77)
+	vpns := make([]uint64, 6000)
+	for i := range vpns {
+		vpns[i] = uint64(rng.next() % 96)
+	}
+	oracle := BuildOracle(filterL2Stream(t, vpns))
+	_ = oracle
+	// Drive policies over the same raw stream with a tiny TLB.
+	policies := []tlb.Policy{NewLRU(), NewRandom(3), NewSRRIP(), NewSHiP(1024), NewOPT(BuildOracle(vpns))}
+	best := map[string]uint64{}
+	for _, p := range policies {
+		hits, _ := runSequence(t, p, 32, 8, vpns)
+		best[p.Name()] = hits
+	}
+	for name, hits := range best {
+		if name == "opt" {
+			continue
+		}
+		if hits > best["opt"] {
+			t.Errorf("policy %s (%d hits) beat OPT (%d hits)", name, hits, best["opt"])
+		}
+	}
+}
+
+// filterL2Stream would model L1 filtering; for the upper-bound test the
+// raw stream is the L2 stream, so it is the identity. Kept to document
+// the invariant that the oracle must be built from the same stream the
+// policy sees.
+func filterL2Stream(t *testing.T, vpns []uint64) []uint64 {
+	t.Helper()
+	return vpns
+}
+
+// newTestRNG is a tiny local generator so this test does not depend on
+// package trace.
+type testRNG struct{ s uint64 }
+
+func newTestRNG(seed uint64) *testRNG { return &testRNG{s: seed*2685821657736338717 + 1} }
+func (r *testRNG) next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}

@@ -1,0 +1,190 @@
+package policy
+
+import "github.com/chirplab/chirp/internal/tlb"
+
+// SDBP is Sampling-based Dead Block Prediction [Khan, Tian & Jiménez,
+// MICRO 2010] adapted to the TLB. The original learns access/eviction
+// behaviour from a small *sampler* — a handful of shadow sets with
+// their own LRU stacks — and generalises the learned PC behaviour to
+// the whole structure.
+//
+// The paper's §II-B argues exactly why this generalisation fails for
+// L2 TLBs: in the LLC one sampled set sees the same PCs that touch
+// many other sets, but a TLB entry covers a 4 KB page, so the data one
+// PC touches maps to far fewer TLB entries and set sampling no longer
+// generalises. This implementation exists to reproduce that negative
+// result (the `sdbp` row of the extended baseline comparison).
+type SDBP struct {
+	ways int
+	sets int
+
+	// samplerShift selects every (1<<samplerShift)-th set for sampling.
+	samplerShift uint
+	// Sampler shadow state, only for sampled sets: partial tags and PCs
+	// with true-LRU.
+	samplerTags [][]uint16
+	samplerPCs  [][]uint16
+	samplerLRU  [][]uint8
+	samplerWays int
+
+	tables [3]*CounterTable
+	// deadThreshold: summed counter value strictly above it ⇒ dead.
+	deadThreshold uint8
+
+	dead []bool
+	rec  *tlb.Recency
+
+	reads, writes uint64
+}
+
+// NewSDBP builds the sampling predictor with three tableSize-entry
+// 2-bit tables, sampling one set in 1<<samplerShift.
+func NewSDBP(tableSize int, samplerShift uint) *SDBP {
+	p := &SDBP{samplerShift: samplerShift, samplerWays: 8, deadThreshold: 7}
+	for i := range p.tables {
+		p.tables[i] = NewCounterTable(tableSize, 2)
+	}
+	return p
+}
+
+// Name implements tlb.Policy.
+func (*SDBP) Name() string { return "sdbp" }
+
+// Attach implements tlb.Policy.
+func (p *SDBP) Attach(sets, ways int) {
+	p.sets, p.ways = sets, ways
+	p.dead = make([]bool, sets*ways)
+	p.rec = tlb.NewRecency(sets, ways)
+	n := sets >> p.samplerShift
+	if n == 0 {
+		n = 1
+	}
+	p.samplerTags = make([][]uint16, n)
+	p.samplerPCs = make([][]uint16, n)
+	p.samplerLRU = make([][]uint8, n)
+	for i := range p.samplerTags {
+		p.samplerTags[i] = make([]uint16, p.samplerWays)
+		p.samplerPCs[i] = make([]uint16, p.samplerWays)
+		p.samplerLRU[i] = make([]uint8, p.samplerWays)
+		for w := range p.samplerLRU[i] {
+			p.samplerLRU[i][w] = uint8(w)
+		}
+	}
+}
+
+// sampled reports whether set feeds the sampler and returns its
+// sampler row.
+func (p *SDBP) sampled(set uint32) (int, bool) {
+	if set&(1<<p.samplerShift-1) != 0 {
+		return 0, false
+	}
+	row := int(set >> p.samplerShift)
+	if row >= len(p.samplerTags) {
+		return 0, false
+	}
+	return row, true
+}
+
+func (p *SDBP) pcSig(pc uint64) uint16 { return uint16(Mix64(pc >> 2)) }
+
+func (p *SDBP) indices(sig uint16) [3]uint64 {
+	var idx [3]uint64
+	for i := range idx {
+		idx[i] = p.tables[i].Index(uint64(sig) + uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return idx
+}
+
+func (p *SDBP) predictDead(sig uint16) bool {
+	p.reads++
+	idx := p.indices(sig)
+	sum := uint8(0)
+	for i := range p.tables {
+		sum += p.tables[i].Read(idx[i])
+	}
+	return sum > p.deadThreshold
+}
+
+func (p *SDBP) train(sig uint16, dead bool) {
+	p.writes++
+	idx := p.indices(sig)
+	for i := range p.tables {
+		if dead {
+			p.tables[i].Inc(idx[i])
+		} else {
+			p.tables[i].Dec(idx[i])
+		}
+	}
+}
+
+// samplerAccess simulates the shadow set: hit trains live; a miss
+// evicts the shadow LRU and trains its inserting PC dead.
+func (p *SDBP) samplerAccess(row int, vpn, pc uint64) {
+	tag := uint16(Mix64(vpn) >> 48)
+	sig := p.pcSig(pc)
+	tags, pcs, lru := p.samplerTags[row], p.samplerPCs[row], p.samplerLRU[row]
+	touch := func(way int) {
+		pos := lru[way]
+		for w := range lru {
+			if lru[w] < pos {
+				lru[w]++
+			}
+		}
+		lru[way] = 0
+	}
+	for w := range tags {
+		if tags[w] == tag {
+			p.train(pcs[w], false) // reused: its inserting PC looks live
+			pcs[w] = sig
+			touch(w)
+			return
+		}
+	}
+	victim := 0
+	for w := range lru {
+		if lru[w] >= lru[victim] {
+			victim = w
+		}
+	}
+	if tags[victim] != 0 {
+		p.train(pcs[victim], true) // evicted unused: dead
+	}
+	tags[victim] = tag
+	pcs[victim] = sig
+	touch(victim)
+}
+
+// OnAccess implements tlb.Policy: feed the sampler when the set is
+// sampled.
+func (p *SDBP) OnAccess(a *tlb.Access) {
+	if row, ok := p.sampled(a.Set); ok {
+		p.samplerAccess(row, a.VPN, a.PC)
+	}
+}
+
+// OnHit implements tlb.Policy: refresh the prediction from the tables
+// (SDBP predicts on every access).
+func (p *SDBP) OnHit(set uint32, way int, a *tlb.Access) {
+	p.rec.Touch(set, way)
+	p.dead[int(set)*p.ways+way] = p.predictDead(p.pcSig(a.PC))
+}
+
+// Victim implements tlb.Policy: predicted-dead first, else LRU.
+func (p *SDBP) Victim(set uint32, _ *tlb.Access) int {
+	base := int(set) * p.ways
+	for w := 0; w < p.ways; w++ {
+		if p.dead[base+w] {
+			return w
+		}
+	}
+	return p.rec.LRU(set)
+}
+
+// OnInsert implements tlb.Policy.
+func (p *SDBP) OnInsert(set uint32, way int, a *tlb.Access) {
+	p.rec.Touch(set, way)
+	p.dead[int(set)*p.ways+way] = p.predictDead(p.pcSig(a.PC))
+}
+
+// TableAccesses implements tlb.TableAccounting.
+func (p *SDBP) TableAccesses() (reads, writes uint64) { return p.reads, p.writes }

@@ -1,0 +1,181 @@
+package policy
+
+import "github.com/chirplab/chirp/internal/tlb"
+
+// SHiP is Signature-based Hit Prediction [Wu et al., MICRO 2011]
+// adapted to the TLB exactly as the paper describes (§II-B, §III):
+// because set sampling does not generalise for TLBs, every entry keeps
+// its inserting PC signature as metadata ("a sampler the same size as
+// the structure"), and the Signature History Counter Table (SHCT)
+// learns whether insertions by that PC are ever re-referenced. The
+// prediction is consumed at insertion on top of an SRRIP-replaced TLB:
+// never-reused signatures insert at distant re-reference.
+//
+// Three configurations reproduce the paper's §III study:
+//   - the default (finite SHCT, all sets predicted);
+//   - NewSHiPUnlimited: an unaliased (map-backed) SHCT;
+//   - NewSHiPSampled: prediction restricted to a subset of sets with
+//     plain SRRIP insertion elsewhere.
+type SHiP struct {
+	srrip *SRRIP
+	ways  int
+
+	// Finite SHCT (nil when unlimited).
+	shct *CounterTable
+	// Unaliased SHCT used when unlimited is set.
+	unlimited bool
+	shctMap   map[uint64]uint8
+	shctMax   uint8
+
+	// sampleShift, when non-zero, restricts prediction to sets whose
+	// index is divisible by 1<<sampleShift.
+	sampleShift uint
+
+	sig    []uint16 // per-entry inserting-PC signature
+	reused []bool   // per-entry "was re-referenced" bit
+
+	reads, writes uint64
+}
+
+// shipSignatureBits is the per-entry PC signature width (14 bits in
+// the original SHiP paper).
+const shipSignatureBits = 14
+
+// NewSHiP returns the paper's TLB-adapted SHiP with an shctSize-entry
+// (power of two), 3-bit-counter SHCT.
+func NewSHiP(shctSize int) *SHiP {
+	return &SHiP{srrip: NewSRRIP(), shct: NewCounterTable(shctSize, 3), shctMax: 7}
+}
+
+// NewSHiPUnlimited returns SHiP with an unaliased SHCT: one counter
+// per distinct signature, however many occur. The paper uses this to
+// show SHiP's failure on TLBs is not a table-capacity artefact.
+func NewSHiPUnlimited() *SHiP {
+	return &SHiP{srrip: NewSRRIP(), unlimited: true, shctMap: make(map[uint64]uint8), shctMax: 7}
+}
+
+// NewSHiPSampled returns SHiP predicting only on 1/(1<<sampleShift) of
+// the sets, with plain SRRIP insertion elsewhere — the paper's probe
+// for whether cross-set conflicts cause the mispredictions.
+func NewSHiPSampled(shctSize int, sampleShift uint) *SHiP {
+	p := NewSHiP(shctSize)
+	p.sampleShift = sampleShift
+	return p
+}
+
+// Name implements tlb.Policy.
+func (p *SHiP) Name() string {
+	switch {
+	case p.unlimited:
+		return "ship-unlimited"
+	case p.sampleShift != 0:
+		return "ship-sampled"
+	default:
+		return "ship"
+	}
+}
+
+// Attach implements tlb.Policy.
+func (p *SHiP) Attach(sets, ways int) {
+	p.srrip.Attach(sets, ways)
+	p.ways = ways
+	p.sig = make([]uint16, sets*ways)
+	p.reused = make([]bool, sets*ways)
+}
+
+func (p *SHiP) signature(pc uint64) uint64 {
+	// Drop the byte-offset bits, then fold to the signature width.
+	return Mix64(pc>>2) & (1<<shipSignatureBits - 1)
+}
+
+func (p *SHiP) predicted(set uint32) bool {
+	if p.sampleShift == 0 {
+		return true
+	}
+	return set&(1<<p.sampleShift-1) == 0
+}
+
+func (p *SHiP) shctRead(sig uint64) uint8 {
+	p.reads++
+	if p.unlimited {
+		return p.shctMap[sig]
+	}
+	return p.shct.Read(p.shct.Index(sig))
+}
+
+func (p *SHiP) shctInc(sig uint64) {
+	p.writes++
+	if p.unlimited {
+		if v := p.shctMap[sig]; v < p.shctMax {
+			p.shctMap[sig] = v + 1
+		}
+		return
+	}
+	p.shct.Inc(p.shct.Index(sig))
+}
+
+func (p *SHiP) shctDec(sig uint64) {
+	p.writes++
+	if p.unlimited {
+		if v := p.shctMap[sig]; v > 0 {
+			p.shctMap[sig] = v - 1
+		}
+		return
+	}
+	p.shct.Dec(p.shct.Index(sig))
+}
+
+// OnAccess implements tlb.Policy.
+func (*SHiP) OnAccess(*tlb.Access) {}
+
+// OnHit implements tlb.Policy: promote in SRRIP; on the first
+// re-reference train the SHCT toward "reused". Like the paper's SHiP
+// adaptation (§IV-E: SHiP and GHRP "must access tables on every access
+// to the TLB"), the hit path reads the SHCT to refresh the entry's
+// prediction state — the traffic Figure 11 charges SHiP for.
+func (p *SHiP) OnHit(set uint32, way int, a *tlb.Access) {
+	p.srrip.OnHit(set, way, a)
+	if !p.predicted(set) {
+		return
+	}
+	i := int(set)*p.ways + way
+	p.shctRead(p.signature(a.PC))
+	if !p.reused[i] {
+		p.reused[i] = true
+		p.shctInc(uint64(p.sig[i]))
+	}
+}
+
+// Victim implements tlb.Policy: SRRIP victim; if the evictee was never
+// re-referenced, train its signature toward "not reused".
+func (p *SHiP) Victim(set uint32, a *tlb.Access) int {
+	way := p.srrip.Victim(set, a)
+	if p.predicted(set) {
+		i := int(set)*p.ways + way
+		if !p.reused[i] {
+			p.shctDec(uint64(p.sig[i]))
+		}
+	}
+	return way
+}
+
+// OnInsert implements tlb.Policy: consult the SHCT for the inserting
+// PC; a zero counter predicts "never re-referenced" and inserts at
+// distant re-reference.
+func (p *SHiP) OnInsert(set uint32, way int, a *tlb.Access) {
+	p.srrip.OnInsert(set, way, a)
+	i := int(set)*p.ways + way
+	if !p.predicted(set) {
+		p.sig[i], p.reused[i] = 0, false
+		return
+	}
+	sig := p.signature(a.PC)
+	p.sig[i] = uint16(sig)
+	p.reused[i] = false
+	if p.shctRead(sig) == 0 {
+		p.srrip.SetInsertion(set, way, p.srrip.MaxRRPV())
+	}
+}
+
+// TableAccesses implements tlb.TableAccounting.
+func (p *SHiP) TableAccesses() (reads, writes uint64) { return p.reads, p.writes }

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/chirplab/chirp/internal/core"
+	"github.com/chirplab/chirp/internal/policy"
+	"github.com/chirplab/chirp/internal/tlb"
+)
+
+// PolicyFactory builds a fresh policy instance; every simulation run
+// needs its own because policies hold per-TLB metadata.
+type PolicyFactory func() tlb.Policy
+
+// NamedFactory pairs a display name with a factory.
+type NamedFactory struct {
+	Name string
+	New  PolicyFactory
+}
+
+// builtinFactories lists every policy the paper evaluates, in the
+// paper's presentation order, plus this reproduction's extensions
+// (ship-unlimited/ship-sampled from §III, opt is oracle-driven and
+// constructed separately).
+func builtinFactories() map[string]PolicyFactory {
+	return map[string]PolicyFactory{
+		"lru":            func() tlb.Policy { return policy.NewLRU() },
+		"random":         func() tlb.Policy { return policy.NewRandom(1) },
+		"srrip":          func() tlb.Policy { return policy.NewSRRIP() },
+		"ship":           func() tlb.Policy { return policy.NewSHiP(16384) },
+		"ship-unlimited": func() tlb.Policy { return policy.NewSHiPUnlimited() },
+		"ship-sampled":   func() tlb.Policy { return policy.NewSHiPSampled(16384, 2) },
+		"ghrp":           func() tlb.Policy { return policy.NewGHRP(4096) },
+		"chirp":          func() tlb.Policy { return core.MustNew(core.DefaultConfig()) },
+		// Extension baselines beyond the paper's comparison set.
+		"sdbp":       func() tlb.Policy { return policy.NewSDBP(4096, 5) },
+		"drrip":      func() tlb.Policy { return policy.NewDRRIP() },
+		"perceptron": func() tlb.Policy { return policy.NewPerceptronReuse(1024) },
+	}
+}
+
+// ExtendedPolicies is the extension comparison set: the paper's six
+// plus the additional literature baselines this reproduction
+// implements (SDBP with set sampling — §II-B's negative result —
+// DRRIP, and perceptron-based reuse prediction).
+var ExtendedPolicies = []string{"lru", "random", "srrip", "drrip", "ship", "sdbp", "perceptron", "ghrp", "chirp"}
+
+// PaperPolicies is the Figure 7 comparison set in presentation order.
+var PaperPolicies = []string{"lru", "random", "srrip", "ship", "ghrp", "chirp"}
+
+// PolicyNames returns every registered policy name, sorted.
+func PolicyNames() []string {
+	m := builtinFactories()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewPolicy builds a fresh instance of the named policy.
+func NewPolicy(name string) (tlb.Policy, error) {
+	f, ok := builtinFactories()[name]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown policy %q (have %v)", name, PolicyNames())
+	}
+	return f(), nil
+}
+
+// Factories resolves names into NamedFactory values.
+func Factories(names []string) ([]NamedFactory, error) {
+	m := builtinFactories()
+	out := make([]NamedFactory, 0, len(names))
+	for _, n := range names {
+		f, ok := m[n]
+		if !ok {
+			return nil, fmt.Errorf("sim: unknown policy %q (have %v)", n, PolicyNames())
+		}
+		out = append(out, NamedFactory{Name: n, New: f})
+	}
+	return out, nil
+}
+
+// CHiRPFactory wraps an explicit CHiRP configuration (for the Figure
+// 2/6/9 sweeps).
+func CHiRPFactory(cfg core.Config) PolicyFactory {
+	return func() tlb.Policy { return core.MustNew(cfg) }
+}

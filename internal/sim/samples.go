@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"github.com/chirplab/chirp/internal/policy"
+	"github.com/chirplab/chirp/internal/tlb"
+	"github.com/chirplab/chirp/internal/trace"
+)
+
+// ReuseSample is one completed L2 TLB entry lifetime: the PC that
+// inserted the entry and whether the entry was ever reused before
+// eviction. These are the labelled examples the offline ADALINE study
+// (Figure 3) trains on.
+type ReuseSample struct {
+	PC     uint64
+	Reused bool
+}
+
+// reuseRecorder wraps LRU and harvests lifetime samples.
+type reuseRecorder struct {
+	*policy.LRU
+	ways    int
+	pc      []uint64
+	reused  []bool
+	valid   []bool
+	samples []ReuseSample
+	max     int
+}
+
+func newReuseRecorder(max int) *reuseRecorder {
+	return &reuseRecorder{LRU: policy.NewLRU(), max: max}
+}
+
+// Attach implements tlb.Policy.
+func (r *reuseRecorder) Attach(sets, ways int) {
+	r.LRU.Attach(sets, ways)
+	r.ways = ways
+	n := sets * ways
+	r.pc = make([]uint64, n)
+	r.reused = make([]bool, n)
+	r.valid = make([]bool, n)
+}
+
+// OnHit implements tlb.Policy.
+func (r *reuseRecorder) OnHit(set uint32, way int, a *tlb.Access) {
+	r.LRU.OnHit(set, way, a)
+	r.reused[int(set)*r.ways+way] = true
+}
+
+// Victim implements tlb.Policy: sample the evicted lifetime.
+func (r *reuseRecorder) Victim(set uint32, a *tlb.Access) int {
+	way := r.LRU.Victim(set, a)
+	i := int(set)*r.ways + way
+	if r.valid[i] && (r.max <= 0 || len(r.samples) < r.max) {
+		r.samples = append(r.samples, ReuseSample{PC: r.pc[i], Reused: r.reused[i]})
+	}
+	return way
+}
+
+// OnInsert implements tlb.Policy.
+func (r *reuseRecorder) OnInsert(set uint32, way int, a *tlb.Access) {
+	r.LRU.OnInsert(set, way, a)
+	i := int(set)*r.ways + way
+	r.pc[i] = a.PC
+	r.reused[i] = false
+	r.valid[i] = true
+}
+
+// CollectReuseSamples replays src through the TLB hierarchy under LRU
+// and returns up to max completed L2-entry lifetimes (0 = unbounded).
+func CollectReuseSamples(src trace.Source, cfg TLBOnlyConfig, max int) ([]ReuseSample, error) {
+	rec := newReuseRecorder(max)
+	if _, err := RunTLBOnly(src, rec, cfg); err != nil {
+		return nil, err
+	}
+	return rec.samples, nil
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/chirplab/chirp/internal/pipeline"
+	"github.com/chirplab/chirp/internal/policy"
+	"github.com/chirplab/chirp/internal/tlb"
+	"github.com/chirplab/chirp/internal/trace"
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+// SuiteResult is one (workload, policy) TLB-only measurement.
+type SuiteResult struct {
+	Workload string
+	Category string
+	Profile  string
+	TLBOnlyResult
+}
+
+// TimingResult is one (workload, policy) full-timing measurement.
+type TimingResult struct {
+	Workload string
+	Category string
+	Profile  string
+	pipeline.Result
+}
+
+// RunSuiteTLBOnly measures each workload under each policy with the
+// fast TLB-only driver, fanning (workload, policy) pairs across
+// workers goroutines (GOMAXPROCS when workers <= 0). Results are
+// ordered by workload then policy.
+func RunSuiteTLBOnly(ws []*workloads.Workload, pols []NamedFactory, cfg TLBOnlyConfig, workers int) ([]SuiteResult, error) {
+	results := make([]SuiteResult, len(ws)*len(pols))
+	err := fanOut(len(ws)*len(pols), workers, func(i int) error {
+		w := ws[i/len(pols)]
+		p := pols[i%len(pols)]
+		prog := w.Program()
+		src := trace.NewLimit(workloads.NewGenerator(prog), cfg.Instructions)
+		res, err := RunTLBOnly(src, p.New(), cfg)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
+		}
+		res.Policy = p.Name
+		results[i] = SuiteResult{Workload: w.Name, Category: w.Category, Profile: prog.Profile, TLBOnlyResult: res}
+		return nil
+	})
+	return results, err
+}
+
+// RunSuiteTiming measures each workload under each policy with the
+// full timing model.
+func RunSuiteTiming(ws []*workloads.Workload, pols []NamedFactory, cfg pipeline.Config, workers int) ([]TimingResult, error) {
+	results := make([]TimingResult, len(ws)*len(pols))
+	err := fanOut(len(ws)*len(pols), workers, func(i int) error {
+		w := ws[i/len(pols)]
+		p := pols[i%len(pols)]
+		prog := w.Program()
+		m, err := pipeline.New(cfg, p.New(), func() tlb.Policy { return policy.NewLRU() })
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
+		}
+		src := trace.NewLimit(workloads.NewGenerator(prog), cfg.Instructions)
+		res, err := m.Run(src)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
+		}
+		res.Policy = p.Name
+		results[i] = TimingResult{Workload: w.Name, Category: w.Category, Profile: prog.Profile, Result: res}
+		return nil
+	})
+	return results, err
+}
+
+// fanOut runs fn(0..n-1) across a bounded worker pool and returns the
+// first error.
+func fanOut(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		err1 error
+		next = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if err1 == nil {
+						err1 = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return err1
+}

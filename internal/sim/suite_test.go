@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+func TestFanOutRunsAll(t *testing.T) {
+	var count int64
+	err := fanOut(100, 4, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("ran %d/100 tasks", count)
+	}
+}
+
+func TestFanOutPropagatesError(t *testing.T) {
+	want := errors.New("boom")
+	err := fanOut(10, 3, func(i int) error {
+		if i == 7 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Errorf("error = %v, want %v", err, want)
+	}
+	// Serial path too.
+	err = fanOut(10, 1, func(i int) error {
+		if i == 3 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Errorf("serial error = %v, want %v", err, want)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	ws := workloads.SuiteN(4)
+	pols, err := Factories([]string{"lru", "chirp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTLBOnlyConfig(150_000)
+	serial, err := RunSuiteTLBOnly(ws, pols, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunSuiteTLBOnly(ws, pols, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].MPKI != parallel[i].MPKI || serial[i].L2Misses != parallel[i].L2Misses {
+			t.Fatalf("parallel result %d diverged: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRunSuitePropagatesBadPolicy(t *testing.T) {
+	if _, err := Factories([]string{"definitely-not-a-policy"}); err == nil {
+		t.Fatal("Factories accepted an unknown policy")
+	}
+}

@@ -1,0 +1,283 @@
+// Package sim provides the simulation drivers: a fast TLB-only driver
+// for MPKI experiments (the paper's Figure 6/7/9/11 numbers need no
+// timing model), the full timing driver built on internal/pipeline,
+// and suite runners that fan workloads across policies.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/chirplab/chirp/internal/policy"
+	"github.com/chirplab/chirp/internal/tlb"
+	"github.com/chirplab/chirp/internal/trace"
+)
+
+// Hierarchy is the TLB geometry of Table II.
+type Hierarchy struct {
+	L1I tlb.Config
+	L1D tlb.Config
+	L2  tlb.Config
+}
+
+// DefaultHierarchy returns the paper's Table II TLB parameters:
+// 64-entry 8-way L1 instruction and data TLBs and a 1024-entry 8-way
+// unified L2 TLB, 4 KB pages.
+func DefaultHierarchy() Hierarchy {
+	return Hierarchy{
+		L1I: tlb.Config{Name: "L1 iTLB", Entries: 64, Ways: 8, PageShift: 12},
+		L1D: tlb.Config{Name: "L1 dTLB", Entries: 64, Ways: 8, PageShift: 12},
+		L2:  tlb.Config{Name: "L2 TLB", Entries: 1024, Ways: 8, PageShift: 12},
+	}
+}
+
+// TLBOnlyConfig parameterises a TLB-only run.
+type TLBOnlyConfig struct {
+	Hierarchy Hierarchy
+	// Instructions bounds the committed instruction count (0 = drain
+	// the source).
+	Instructions uint64
+	// WarmupFraction of instructions warms the structures before MPKI
+	// measurement begins (the paper warms on the first half).
+	WarmupFraction float64
+	// PrefetchDistance, when positive, enables a confidence-gated
+	// stride prefetcher into the L2 TLB — the distance prefetching of
+	// the related work the paper positions replacement against ([44],
+	// [45]): per accessing PC, a small table learns the page stride of
+	// successive misses and, once confident, prefetches the next
+	// PrefetchDistance pages along it. Prefetches do not count as
+	// accesses or misses; they compose with any replacement policy.
+	PrefetchDistance int
+}
+
+// DefaultTLBOnlyConfig returns the paper's setup at a given
+// instruction budget.
+func DefaultTLBOnlyConfig(instructions uint64) TLBOnlyConfig {
+	return TLBOnlyConfig{
+		Hierarchy:      DefaultHierarchy(),
+		Instructions:   instructions,
+		WarmupFraction: 0.5,
+	}
+}
+
+// TLBOnlyResult reports one TLB-only run.
+type TLBOnlyResult struct {
+	Policy       string
+	Instructions uint64 // measured (post-warmup) instructions
+	L2Accesses   uint64 // total, including warmup
+	L2Misses     uint64 // post-warmup misses
+	MPKI         float64
+	Efficiency   float64
+	// TableReads/Writes and TableAccessRate cover the whole run for
+	// policies with prediction tables (Figure 11's metric).
+	TableReads      uint64
+	TableWrites     uint64
+	TableAccessRate float64
+	// L1IMisses/L1DMisses are post-warmup, for i/d-side breakdowns.
+	L1IMisses uint64
+	L1DMisses uint64
+}
+
+// RunTLBOnly drives src through the two L1 TLBs (always LRU, as the
+// paper holds L1 policy fixed) and the L2 TLB under l2p. It returns
+// post-warmup MPKI against committed instructions.
+func RunTLBOnly(src trace.Source, l2p tlb.Policy, cfg TLBOnlyConfig) (TLBOnlyResult, error) {
+	l1i, err := tlb.New(cfg.Hierarchy.L1I, policy.NewLRU())
+	if err != nil {
+		return TLBOnlyResult{}, err
+	}
+	l1d, err := tlb.New(cfg.Hierarchy.L1D, policy.NewLRU())
+	if err != nil {
+		return TLBOnlyResult{}, err
+	}
+	l2, err := tlb.New(cfg.Hierarchy.L2, l2p)
+	if err != nil {
+		return TLBOnlyResult{}, err
+	}
+	bo, observesBranches := l2p.(tlb.BranchObserver)
+
+	pageShift := cfg.Hierarchy.L2.PageShift
+	warmupAt := uint64(float64(cfg.Instructions) * cfg.WarmupFraction)
+	if cfg.Instructions == 0 {
+		warmupAt = 0 // unbounded runs measure everything
+	}
+
+	var (
+		instructions uint64
+		warmStats    tlb.Stats
+		warmI, warmD tlb.Stats
+		warmed       = warmupAt == 0
+		warmInstrAt  uint64
+		rec          trace.Record
+	)
+
+	var pf *stridePrefetcher
+	if cfg.PrefetchDistance > 0 {
+		pf = newStridePrefetcher(cfg.PrefetchDistance)
+	}
+	access := func(l1 *tlb.TLB, pc, vpn uint64, instr bool) {
+		a := tlb.Access{PC: pc, VPN: vpn, Instr: instr}
+		if _, hit := l1.Lookup(&a); hit {
+			return
+		}
+		a2 := tlb.Access{PC: pc, VPN: vpn, Instr: instr}
+		if _, hit := l2.Lookup(&a2); !hit {
+			// Page walk; identity translation suffices for MPKI runs.
+			l2.Insert(&a2, vpn)
+		}
+		if pf != nil {
+			// The prefetcher observes the full L2 access stream (training
+			// on misses alone leaves stride gaps behind its own
+			// prefetches). Presence probes bypass the stats and policy:
+			// prefetch traffic must not count as demand misses.
+			for _, pv := range pf.observe(pc, vpn) {
+				if l2.Contains(pv) {
+					continue
+				}
+				pa := tlb.Access{PC: pc, VPN: pv, Set: l2.SetIndex(pv), Instr: instr}
+				l2.Insert(&pa, pv)
+			}
+		}
+		l1.Insert(&a, vpn)
+	}
+
+	for src.Next(&rec) {
+		instructions += rec.Instructions()
+		if !warmed && instructions >= warmupAt {
+			warmed = true
+			warmStats = l2.Stats()
+			warmI, warmD = l1i.Stats(), l1d.Stats()
+			warmInstrAt = instructions
+		}
+
+		access(l1i, rec.PC, rec.PC>>pageShift, true)
+		switch {
+		case rec.Class.IsMemory():
+			access(l1d, rec.PC, rec.EA>>pageShift, false)
+		case rec.Class.IsBranch():
+			if observesBranches {
+				bo.OnBranch(rec.PC,
+					rec.Class == trace.ClassCondBranch,
+					rec.Class == trace.ClassUncondIndirect,
+					rec.Taken, rec.Target)
+			}
+		}
+		if cfg.Instructions > 0 && instructions >= cfg.Instructions {
+			break
+		}
+	}
+	if !warmed {
+		return TLBOnlyResult{}, fmt.Errorf("sim: trace ended before warmup boundary (%d < %d instructions)", instructions, warmupAt)
+	}
+
+	l2.FlushAccounting()
+	st := l2.Stats()
+	res := TLBOnlyResult{
+		Policy:       l2p.Name(),
+		Instructions: instructions - warmInstrAt,
+		L2Accesses:   st.Accesses,
+		L2Misses:     st.Misses - warmStats.Misses,
+		Efficiency:   st.Efficiency(),
+		L1IMisses:    l1i.Stats().Misses - warmI.Misses,
+		L1DMisses:    l1d.Stats().Misses - warmD.Misses,
+	}
+	if res.Instructions > 0 {
+		res.MPKI = float64(res.L2Misses) / (float64(res.Instructions) / 1000)
+	}
+	if ta, ok := l2p.(tlb.TableAccounting); ok {
+		res.TableReads, res.TableWrites = ta.TableAccesses()
+		if st.Accesses > 0 {
+			res.TableAccessRate = float64(res.TableReads+res.TableWrites) / float64(st.Accesses)
+		}
+	}
+	return res, nil
+}
+
+// CollectL2Stream replays src through LRU L1 TLBs and records the VPN
+// sequence presented to the L2 TLB. Because the L1s' behaviour does
+// not depend on the L2 policy, this stream is identical for every L2
+// policy, so it can seed the Bélády OPT oracle.
+func CollectL2Stream(src trace.Source, cfg TLBOnlyConfig) ([]uint64, error) {
+	l1i, err := tlb.New(cfg.Hierarchy.L1I, policy.NewLRU())
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := tlb.New(cfg.Hierarchy.L1D, policy.NewLRU())
+	if err != nil {
+		return nil, err
+	}
+	pageShift := cfg.Hierarchy.L2.PageShift
+	var (
+		stream       []uint64
+		instructions uint64
+		rec          trace.Record
+	)
+	access := func(l1 *tlb.TLB, pc, vpn uint64, instr bool) {
+		a := tlb.Access{PC: pc, VPN: vpn, Instr: instr}
+		if _, hit := l1.Lookup(&a); hit {
+			return
+		}
+		stream = append(stream, vpn)
+		l1.Insert(&a, vpn)
+	}
+	for src.Next(&rec) {
+		instructions += rec.Instructions()
+		access(l1i, rec.PC, rec.PC>>pageShift, true)
+		if rec.Class.IsMemory() {
+			access(l1d, rec.PC, rec.EA>>pageShift, false)
+		}
+		if cfg.Instructions > 0 && instructions >= cfg.Instructions {
+			break
+		}
+	}
+	return stream, nil
+}
+
+// stridePrefetcher learns, per accessing PC, the page stride between
+// successive L2 misses and issues prefetches only once the stride has
+// repeated (2-bit confidence) — the recency/distance prefetching
+// lineage of Saulsbury et al. and Kandiraju & Sivasubramaniam.
+type stridePrefetcher struct {
+	distance int
+	lastVPN  [256]uint64
+	stride   [256]int64
+	conf     [256]uint8
+	valid    [256]bool
+}
+
+func newStridePrefetcher(distance int) *stridePrefetcher {
+	return &stridePrefetcher{distance: distance}
+}
+
+// observe records an L2 access and returns the VPNs to prefetch.
+func (p *stridePrefetcher) observe(pc, vpn uint64) []uint64 {
+	idx := policy.Mix64(pc>>2) & 0xff
+	defer func() { p.lastVPN[idx], p.valid[idx] = vpn, true }()
+	if !p.valid[idx] {
+		return nil
+	}
+	delta := int64(vpn - p.lastVPN[idx])
+	if delta == 0 {
+		return nil
+	}
+	if delta == p.stride[idx] {
+		if p.conf[idx] < 3 {
+			p.conf[idx]++
+		}
+	} else {
+		p.stride[idx] = delta
+		if p.conf[idx] > 0 {
+			p.conf[idx]--
+		}
+		return nil
+	}
+	if p.conf[idx] < 2 {
+		return nil
+	}
+	out := make([]uint64, 0, p.distance)
+	next := vpn
+	for d := 0; d < p.distance; d++ {
+		next += uint64(p.stride[idx])
+		out = append(out, next)
+	}
+	return out
+}

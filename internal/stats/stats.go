@@ -1,0 +1,357 @@
+// Package stats provides the aggregation and presentation helpers the
+// experiment harness uses: means, geometric means, S-curves (Figures 7
+// and 8), density summaries (Figure 11), ASCII charts, and CSV/TSV
+// table emitters.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, which must be positive
+// (non-positive entries are skipped). The paper reports speedups as
+// geometric means.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs by linear
+// interpolation over the sorted values.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Reduction returns the percent reduction of value versus baseline
+// ((baseline−value)/baseline × 100).
+func Reduction(baseline, value float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - value) / baseline * 100
+}
+
+// SCurve is the paper's S-curve presentation (Figures 7 and 8): one
+// series per policy, benchmarks ordered by the baseline series'
+// values.
+type SCurve struct {
+	// Labels names the benchmarks.
+	Labels []string
+	// Series maps policy name to per-benchmark values (parallel to
+	// Labels).
+	Series map[string][]float64
+	// Order is the policy whose values sort the x-axis.
+	Order string
+}
+
+// Sorted returns the benchmark indices in ascending order of the
+// ordering series.
+func (s *SCurve) Sorted() []int {
+	base := s.Series[s.Order]
+	idx := make([]int, len(base))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return base[idx[a]] < base[idx[b]] })
+	return idx
+}
+
+// WriteCSV emits the S-curve with benchmarks sorted by the ordering
+// series, one row per benchmark.
+func (s *SCurve) WriteCSV(w io.Writer, seriesOrder []string) error {
+	if _, err := fmt.Fprintf(w, "benchmark,%s\n", strings.Join(seriesOrder, ",")); err != nil {
+		return err
+	}
+	for _, i := range s.Sorted() {
+		row := make([]string, 0, len(seriesOrder)+1)
+		row = append(row, s.Labels[i])
+		for _, name := range seriesOrder {
+			row = append(row, fmt.Sprintf("%.6g", s.Series[name][i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Density summarises a distribution the way Figure 11 presents
+// prediction-table access rates.
+type Density struct {
+	Name   string
+	Mean   float64
+	StdDev float64
+	P10    float64
+	P50    float64
+	P90    float64
+	Max    float64
+}
+
+// Summarize builds a Density from samples.
+func Summarize(name string, xs []float64) Density {
+	d := Density{
+		Name:   name,
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		P10:    Percentile(xs, 10),
+		P50:    Percentile(xs, 50),
+		P90:    Percentile(xs, 90),
+	}
+	for _, x := range xs {
+		if x > d.Max {
+			d.Max = x
+		}
+	}
+	return d
+}
+
+// Histogram bins xs into n equal-width buckets over [min, max].
+func Histogram(xs []float64, n int, min, max float64) []int {
+	bins := make([]int, n)
+	if max <= min || n == 0 {
+		return bins
+	}
+	for _, x := range xs {
+		i := int((x - min) / (max - min) * float64(n))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		bins[i]++
+	}
+	return bins
+}
+
+// Bar renders a proportional ASCII bar of width w for value within
+// [0, max].
+func Bar(value, max float64, w int) string {
+	if max <= 0 || value < 0 {
+		return ""
+	}
+	n := int(value / max * float64(w))
+	if n > w {
+		n = w
+	}
+	return strings.Repeat("█", n)
+}
+
+// Table renders aligned columns to w: header row then data rows.
+func Table(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	emit := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := emit(header); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := emit(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HeatRow renders one Figure-1-style heat-map row: each value in
+// [0, 1] becomes a shaded block (lighter = higher efficiency, as in
+// the paper).
+func HeatRow(values []float64) string {
+	shades := []rune("░▒▓█")
+	var b strings.Builder
+	for _, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		// Lighter (lower index) = higher efficiency.
+		i := int((1 - v) * float64(len(shades)))
+		if i >= len(shades) {
+			i = len(shades) - 1
+		}
+		b.WriteRune(shades[i])
+	}
+	return b.String()
+}
+
+// BootstrapCI estimates a confidence interval for the geometric mean
+// of xs by bootstrap resampling (the §VI-G statistical-significance
+// check for speedups over the suite): n resamples with replacement,
+// returning the (1−conf)/2 and 1−(1−conf)/2 quantiles of the resampled
+// geomeans. The generator is seeded for reproducibility.
+func BootstrapCI(xs []float64, n int, conf float64, seed uint64) (lo, hi float64) {
+	if len(xs) == 0 || n <= 0 {
+		return 0, 0
+	}
+	state := seed*6364136223846793005 + 1442695040888963407
+	next := func() uint64 {
+		state ^= state >> 12
+		state ^= state << 25
+		state ^= state >> 27
+		return state * 0x2545f4914f6cdd1d
+	}
+	means := make([]float64, n)
+	sample := make([]float64, len(xs))
+	for i := 0; i < n; i++ {
+		for j := range sample {
+			sample[j] = xs[next()%uint64(len(xs))]
+		}
+		means[i] = GeoMean(sample)
+	}
+	alpha := (1 - conf) / 2 * 100
+	return Percentile(means, alpha), Percentile(means, 100-alpha)
+}
+
+// LineChart renders series as a compact ASCII chart: one row per
+// y-resolution step, marks placed per series at each x position. It is
+// how the sweep figures (2, 9, 10) are displayed in terminals.
+type LineChart struct {
+	// XLabels name the x positions (same length as every series).
+	XLabels []string
+	// Series maps a single-rune mark to its y values.
+	Series map[rune][]float64
+	// Height is the number of chart rows (default 10).
+	Height int
+}
+
+// Render writes the chart.
+func (c *LineChart) Render(w io.Writer) error {
+	height := c.Height
+	if height <= 0 {
+		height = 10
+	}
+	n := len(c.XLabels)
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, ys := range c.Series {
+		for i := 0; i < n && i < len(ys); i++ {
+			if ys[i] < min {
+				min = ys[i]
+			}
+			if ys[i] > max {
+				max = ys[i]
+			}
+		}
+	}
+	if math.IsInf(min, 1) || max == min {
+		max, min = min+1, min-1
+	}
+	rowOf := func(v float64) int {
+		r := int((v - min) / (max - min) * float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", n*4))
+	}
+	marks := make([]rune, 0, len(c.Series))
+	for m := range c.Series {
+		marks = append(marks, m)
+	}
+	sort.Slice(marks, func(i, j int) bool { return marks[i] < marks[j] })
+	for _, m := range marks {
+		ys := c.Series[m]
+		for i := 0; i < n && i < len(ys); i++ {
+			row, col := rowOf(ys[i]), i*4+1
+			if grid[row][col] == ' ' {
+				grid[row][col] = m
+			} else {
+				grid[row][col+1] = m // stack collisions sideways
+			}
+		}
+	}
+	for i, row := range grid {
+		y := max - (max-min)*float64(i)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%8.2f |%s\n", y, string(row)); err != nil {
+			return err
+		}
+	}
+	axis := make([]string, n)
+	for i, l := range c.XLabels {
+		if len(l) > 3 {
+			l = l[:3]
+		}
+		axis[i] = fmt.Sprintf("%-4s", l)
+	}
+	_, err := fmt.Fprintf(w, "%8s +%s\n", "", strings.Join(axis, ""))
+	return err
+}

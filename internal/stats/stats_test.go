@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("Mean([1,2,3]) != 2")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{2, 8}), 4) {
+		t.Errorf("GeoMean([2,8]) = %v, want 4", GeoMean([]float64{2, 8}))
+	}
+	// Non-positive entries are skipped, not fatal.
+	if !almost(GeoMean([]float64{0, 4}), 4) {
+		t.Error("GeoMean must skip non-positive entries")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if !almost(Percentile(xs, 0), 1) || !almost(Percentile(xs, 100), 5) {
+		t.Error("extreme percentiles wrong")
+	}
+	if !almost(Percentile(xs, 50), 3) {
+		t.Errorf("P50 = %v, want 3", Percentile(xs, 50))
+	}
+	if !almost(Percentile(xs, 25), 2) {
+		t.Errorf("P25 = %v, want 2", Percentile(xs, 25))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile(nil) != 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !almost(StdDev([]float64{2, 2, 2}), 0) {
+		t.Error("constant series must have zero stddev")
+	}
+	if !almost(StdDev([]float64{1, 3}), 1) {
+		t.Errorf("StdDev([1,3]) = %v, want 1", StdDev([]float64{1, 3}))
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if !almost(Reduction(1.51, 1.08), (1.51-1.08)/1.51*100) {
+		t.Error("Reduction formula wrong")
+	}
+	if Reduction(0, 5) != 0 {
+		t.Error("Reduction with zero baseline must be 0")
+	}
+}
+
+func TestSCurveSortedAndCSV(t *testing.T) {
+	c := &SCurve{
+		Labels: []string{"b", "a", "c"},
+		Series: map[string][]float64{
+			"lru":   {3, 1, 2},
+			"chirp": {2.5, 0.5, 1.5},
+		},
+		Order: "lru",
+	}
+	order := c.Sorted()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("Sorted() = %v, want %v", order, want)
+		}
+	}
+	var sb strings.Builder
+	if err := c.WriteCSV(&sb, []string{"lru", "chirp"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV lines = %d, want 4", len(lines))
+	}
+	if lines[0] != "benchmark,lru,chirp" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a,1,") {
+		t.Errorf("first data row = %q, want to start with a,1", lines[1])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := Summarize("x", []float64{1, 2, 3, 4, 10})
+	if d.Name != "x" || !almost(d.Mean, 4) || d.Max != 10 {
+		t.Errorf("Summarize = %+v", d)
+	}
+	if d.P50 != 3 {
+		t.Errorf("P50 = %v, want 3", d.P50)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0, 0.5, 0.99, 1.5, -2}, 2, 0, 1)
+	// Bin 0 covers [0, 0.5): {0, -2 clamped}. Bin 1 covers [0.5, 1]:
+	// {0.5, 0.99, 1.5 clamped}.
+	if bins[0] != 2 || bins[1] != 3 {
+		t.Errorf("bins = %v, want [2 3]", bins)
+	}
+	if got := Histogram(nil, 0, 0, 1); len(got) != 0 {
+		t.Error("zero-bin histogram must be empty")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); len([]rune(got)) != 5 {
+		t.Errorf("Bar(5,10,10) length = %d, want 5", len([]rune(got)))
+	}
+	if got := Bar(20, 10, 10); len([]rune(got)) != 10 {
+		t.Error("Bar must clamp to width")
+	}
+	if Bar(1, 0, 10) != "" {
+		t.Error("Bar with zero max must be empty")
+	}
+}
+
+func TestTableAligns(t *testing.T) {
+	var sb strings.Builder
+	err := Table(&sb, []string{"name", "v"}, [][]string{{"longer-name", "1"}, {"x", "22"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "longer-name  1") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestHeatRow(t *testing.T) {
+	row := HeatRow([]float64{0, 0.4, 0.7, 1, -1, 2})
+	runes := []rune(row)
+	if len(runes) != 6 {
+		t.Fatalf("HeatRow length = %d, want 6", len(runes))
+	}
+	if runes[3] != '░' {
+		t.Errorf("efficiency 1 must render lightest, got %c", runes[3])
+	}
+	if runes[0] != '█' {
+		t.Errorf("efficiency 0 must render darkest, got %c", runes[0])
+	}
+	if runes[4] != runes[0] || runes[5] != runes[3] {
+		t.Error("out-of-range values must clamp")
+	}
+}
+
+func TestGeoMeanMeanProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1 // positive
+		}
+		g, m := GeoMean(xs), Mean(xs)
+		// AM-GM inequality, plus both within [min, max].
+		return g <= m+1e-9 && g > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineChartRenders(t *testing.T) {
+	c := &LineChart{
+		XLabels: []string{"20", "150", "340"},
+		Series: map[rune][]float64{
+			'c': {0.7, 4.1, 7.0},
+			's': {0.2, 1.1, 1.8},
+		},
+		Height: 5,
+	}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "c") || !strings.Contains(out, "s") {
+		t.Errorf("chart missing series marks:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // 5 rows + axis
+		t.Errorf("chart rows = %d, want 6:\n%s", len(lines), out)
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	c := &LineChart{XLabels: []string{"a"}, Series: map[rune][]float64{'x': {5}}}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x") {
+		t.Error("single-point chart missing its mark")
+	}
+}

@@ -1,0 +1,58 @@
+package tlb
+
+// Recency tracks exact LRU stack positions for every set of a
+// set-associative structure. Several policies share it: true-LRU uses
+// it directly, and the predictive policies (SHiP, GHRP, CHiRP) fall
+// back to it when no dead entry is available — the paper's CHiRP
+// metadata budgets "3 bits to maintain LRU positions" per entry for
+// exactly this stack.
+//
+// Position 0 is most recently used; ways-1 is least recently used.
+type Recency struct {
+	ways int
+	pos  []uint8 // sets × ways stack positions
+}
+
+// NewRecency builds a recency stack for sets × ways entries, each set
+// initialised to the identity stack (way i at position i).
+func NewRecency(sets, ways int) *Recency {
+	if ways > 255 {
+		panic("tlb: Recency supports at most 255 ways")
+	}
+	r := &Recency{ways: ways, pos: make([]uint8, sets*ways)}
+	for s := 0; s < sets; s++ {
+		for w := 0; w < ways; w++ {
+			r.pos[s*ways+w] = uint8(w)
+		}
+	}
+	return r
+}
+
+// Touch moves way to the MRU position of set.
+func (r *Recency) Touch(set uint32, way int) {
+	base := int(set) * r.ways
+	p := r.pos[base+way]
+	for w := 0; w < r.ways; w++ {
+		if r.pos[base+w] < p {
+			r.pos[base+w]++
+		}
+	}
+	r.pos[base+way] = 0
+}
+
+// LRU returns the way currently at the least-recently-used position.
+func (r *Recency) LRU(set uint32) int {
+	base := int(set) * r.ways
+	worst, at := uint8(0), 0
+	for w := 0; w < r.ways; w++ {
+		if p := r.pos[base+w]; p >= worst {
+			worst, at = p, w
+		}
+	}
+	return at
+}
+
+// Position returns way's current stack position (0 = MRU).
+func (r *Recency) Position(set uint32, way int) int {
+	return int(r.pos[int(set)*r.ways+way])
+}

@@ -1,0 +1,335 @@
+// Package tlb implements set-associative translation lookaside buffers
+// with pluggable replacement policies and the live-time (efficiency)
+// accounting the paper's Figure 1 uses.
+//
+// The TLB itself is policy-agnostic: it resolves hits and misses,
+// prefers invalid ways on fills, and drives the Policy callbacks. All
+// replacement intelligence — LRU, Random, SRRIP, SHiP, GHRP, CHiRP —
+// lives behind the Policy interface in internal/policy and
+// internal/core.
+package tlb
+
+import "fmt"
+
+// Access describes one lookup presented to a TLB and to its policy.
+type Access struct {
+	// PC is the address of the instruction performing the access: the
+	// fetch PC for instruction-side accesses, the load/store PC for
+	// data-side accesses.
+	PC uint64
+	// VPN is the virtual page number being translated.
+	VPN uint64
+	// Set is the set index, filled by the TLB before policy callbacks.
+	Set uint32
+	// ASID is the address-space identifier; entries only match within
+	// their ASID, so consolidated workloads coexist without flushes.
+	ASID uint16
+	// Instr reports whether this is an instruction-side access.
+	Instr bool
+}
+
+// Policy makes replacement decisions for one TLB. Implementations own
+// all of their per-entry metadata, sized at Attach time.
+//
+// For every lookup the TLB calls OnAccess first, then exactly one of:
+//   - OnHit, when the lookup hits way w;
+//   - OnInsert, after the missing translation is placed into way w
+//     (preceded by Victim when no invalid way was available).
+//
+// Victim must return a way in [0, ways); the TLB evicts it.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Attach sizes the policy's metadata for a TLB geometry. It is
+	// called exactly once before any other callback.
+	Attach(sets, ways int)
+	// OnAccess is called at the start of every lookup, before the
+	// hit/miss outcome is known.
+	OnAccess(a *Access)
+	// OnHit is called when the lookup hit way.
+	OnHit(set uint32, way int, a *Access)
+	// Victim selects the way to evict for a miss in set when every way
+	// holds a valid entry.
+	Victim(set uint32, a *Access) int
+	// OnInsert is called after the new translation is written to way.
+	OnInsert(set uint32, way int, a *Access)
+}
+
+// BranchObserver is implemented by policies that consume the committed
+// branch stream (GHRP, CHiRP). The simulation driver feeds every
+// committed branch to the L2 TLB policy if it implements this.
+type BranchObserver interface {
+	// OnBranch observes one committed branch: its PC, whether it is
+	// conditional, whether it is an indirect unconditional branch, its
+	// outcome and its target.
+	OnBranch(pc uint64, conditional, indirect, taken bool, target uint64)
+}
+
+// TableAccounting is implemented by predictive policies that maintain
+// prediction tables; it exposes the table traffic used by the paper's
+// Figure 11 (accesses to prediction table / accesses to TLB).
+type TableAccounting interface {
+	// TableReads and TableWrites return cumulative prediction-table
+	// read and write operations.
+	TableAccesses() (reads, writes uint64)
+}
+
+// Config describes TLB geometry.
+type Config struct {
+	// Name labels the TLB in reports (e.g. "L2 TLB").
+	Name string
+	// Entries is the total entry count; it must be a positive multiple
+	// of Ways, with Entries/Ways a power of two.
+	Entries int
+	// Ways is the associativity.
+	Ways int
+	// PageShift is log2 of the page size (12 for 4 KB pages).
+	PageShift uint
+}
+
+// Validate checks the geometry.
+func (c *Config) Validate() error {
+	if c.Entries <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("tlb %q: entries (%d) and ways (%d) must be positive", c.Name, c.Entries, c.Ways)
+	}
+	if c.Entries%c.Ways != 0 {
+		return fmt.Errorf("tlb %q: entries (%d) not a multiple of ways (%d)", c.Name, c.Entries, c.Ways)
+	}
+	sets := c.Entries / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("tlb %q: set count %d is not a power of two", c.Name, sets)
+	}
+	if c.PageShift == 0 || c.PageShift > 30 {
+		return fmt.Errorf("tlb %q: implausible page shift %d", c.Name, c.PageShift)
+	}
+	return nil
+}
+
+// Stats accumulates per-TLB counters.
+type Stats struct {
+	Accesses     uint64
+	Hits         uint64
+	Misses       uint64
+	Evictions    uint64
+	InstrAccess  uint64
+	DataAccess   uint64
+	InstrMisses  uint64
+	DataMisses   uint64
+	liveTime     uint64 // Σ (lastHit − insert) over completed lifetimes
+	residentTime uint64 // Σ (evict − insert) over completed lifetimes
+}
+
+// MissRatio returns misses/accesses, or 0 when idle.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Efficiency returns the TLB-efficiency metric of Burger et al. as the
+// paper applies it to TLB entries: the fraction of entry-resident time
+// during which the entry was still live (i.e. would be referenced
+// again before eviction). It is only meaningful after FlushAccounting.
+func (s Stats) Efficiency() float64 {
+	if s.residentTime == 0 {
+		return 0
+	}
+	return float64(s.liveTime) / float64(s.residentTime)
+}
+
+type entry struct {
+	vpn     uint64
+	ppn     uint64
+	insert  uint64 // access-time of fill
+	lastHit uint64 // access-time of most recent hit (== insert when never hit)
+	asid    uint16
+	valid   bool
+}
+
+// TLB is a set-associative translation buffer.
+type TLB struct {
+	cfg     Config
+	policy  Policy
+	sets    int
+	setMask uint64
+	entries []entry // sets × ways, row-major
+	stats   Stats
+	now     uint64 // monotonically increasing access time
+}
+
+// New builds a TLB with the given geometry and policy. The policy is
+// attached (metadata sized) before New returns.
+func New(cfg Config, p Policy) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("tlb %q: nil policy", cfg.Name)
+	}
+	sets := cfg.Entries / cfg.Ways
+	t := &TLB{
+		cfg:     cfg,
+		policy:  p,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		entries: make([]entry, cfg.Entries),
+	}
+	p.Attach(sets, cfg.Ways)
+	return t, nil
+}
+
+// Config returns the TLB's geometry.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Policy returns the attached replacement policy.
+func (t *TLB) Policy() Policy { return t.policy }
+
+// Sets returns the number of sets.
+func (t *TLB) Sets() int { return t.sets }
+
+// SetIndex returns the set an access to vpn maps to.
+func (t *TLB) SetIndex(vpn uint64) uint32 { return uint32(vpn & t.setMask) }
+
+// Lookup probes the TLB for vpn. On a hit it returns the cached PPN.
+// It never fills; pair with Insert on miss. The policy observes the
+// access either way.
+func (t *TLB) Lookup(a *Access) (ppn uint64, hit bool) {
+	t.now++
+	t.stats.Accesses++
+	if a.Instr {
+		t.stats.InstrAccess++
+	} else {
+		t.stats.DataAccess++
+	}
+	a.Set = t.SetIndex(a.VPN)
+	t.policy.OnAccess(a)
+
+	base := int(a.Set) * t.cfg.Ways
+	for w := 0; w < t.cfg.Ways; w++ {
+		e := &t.entries[base+w]
+		if e.valid && e.vpn == a.VPN && e.asid == a.ASID {
+			e.lastHit = t.now
+			t.stats.Hits++
+			t.policy.OnHit(a.Set, w, a)
+			return e.ppn, true
+		}
+	}
+	t.stats.Misses++
+	if a.Instr {
+		t.stats.InstrMisses++
+	} else {
+		t.stats.DataMisses++
+	}
+	return 0, false
+}
+
+// Insert fills the translation vpn→ppn after a missing Lookup with the
+// same Access. It prefers an invalid way; otherwise it asks the policy
+// for a victim. It reports whether a valid entry was evicted and, if
+// so, its VPN.
+func (t *TLB) Insert(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
+	base := int(a.Set) * t.cfg.Ways
+	way := -1
+	for w := 0; w < t.cfg.Ways; w++ {
+		if !t.entries[base+w].valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = t.policy.Victim(a.Set, a)
+		if way < 0 || way >= t.cfg.Ways {
+			panic(fmt.Sprintf("tlb %q: policy %s returned invalid victim way %d", t.cfg.Name, t.policy.Name(), way))
+		}
+		e := &t.entries[base+way]
+		t.retire(e)
+		t.stats.Evictions++
+		evicted, evictedVPN = true, e.vpn
+	}
+	e := &t.entries[base+way]
+	e.vpn, e.ppn, e.asid, e.valid = a.VPN, ppn, a.ASID, true
+	e.insert, e.lastHit = t.now, t.now
+	t.policy.OnInsert(a.Set, way, a)
+	return evicted, evictedVPN
+}
+
+// Flush invalidates every entry (a full TLB shootdown on hardware
+// without ASID tagging), folding the interrupted lifetimes into the
+// efficiency accounting.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid {
+			t.retire(e)
+			e.valid = false
+		}
+	}
+}
+
+// FlushASID invalidates the entries belonging to one address space.
+func (t *TLB) FlushASID(asid uint16) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.asid == asid {
+			t.retire(e)
+			e.valid = false
+		}
+	}
+}
+
+// retire folds a finished entry lifetime into the efficiency counters.
+func (t *TLB) retire(e *entry) {
+	if !e.valid {
+		return
+	}
+	t.stats.liveTime += e.lastHit - e.insert
+	t.stats.residentTime += t.now - e.insert
+}
+
+// FlushAccounting retires every still-resident entry's lifetime into
+// the efficiency counters without invalidating the entries. Call once
+// at end of simulation, before reading Stats().Efficiency.
+func (t *TLB) FlushAccounting() {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid {
+			t.stats.liveTime += e.lastHit - e.insert
+			t.stats.residentTime += t.now - e.insert
+			// Restart the lifetime so a second flush cannot double count.
+			e.insert, e.lastHit = t.now, t.now
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// Now returns the TLB-local access clock (number of lookups so far).
+func (t *TLB) Now() uint64 { return t.now }
+
+// Contains reports whether vpn is currently resident (for tests).
+func (t *TLB) Contains(vpn uint64) bool {
+	base := int(t.SetIndex(vpn)) * t.cfg.Ways
+	for w := 0; w < t.cfg.Ways; w++ {
+		e := &t.entries[base+w]
+		if e.valid && e.vpn == vpn {
+			return true
+		}
+	}
+	return false
+}
+
+// ResidentVPNs returns the VPNs currently held in set (for tests and
+// the OPT oracle's sanity checks), in way order; invalid ways are
+// skipped.
+func (t *TLB) ResidentVPNs(set uint32) []uint64 {
+	base := int(set) * t.cfg.Ways
+	var out []uint64
+	for w := 0; w < t.cfg.Ways; w++ {
+		if e := &t.entries[base+w]; e.valid {
+			out = append(out, e.vpn)
+		}
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// fifoPolicy is a trivial policy for exercising the TLB plumbing: it
+// evicts ways round-robin and records every callback.
+type fifoPolicy struct {
+	ways     int
+	next     []int
+	accesses int
+	hits     int
+	inserts  int
+	victims  int
+}
+
+func (*fifoPolicy) Name() string { return "fifo-test" }
+func (p *fifoPolicy) Attach(sets, ways int) {
+	p.ways = ways
+	p.next = make([]int, sets)
+}
+func (p *fifoPolicy) OnAccess(*Access)           { p.accesses++ }
+func (p *fifoPolicy) OnHit(uint32, int, *Access) { p.hits++ }
+func (p *fifoPolicy) Victim(set uint32, _ *Access) int {
+	p.victims++
+	w := p.next[set]
+	p.next[set] = (w + 1) % p.ways
+	return w
+}
+func (p *fifoPolicy) OnInsert(uint32, int, *Access) { p.inserts++ }
+
+func newTestTLB(t *testing.T, entries, ways int) (*TLB, *fifoPolicy) {
+	t.Helper()
+	p := &fifoPolicy{}
+	tl, err := New(Config{Name: "test", Entries: entries, Ways: ways, PageShift: 12}, p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tl, p
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"valid", Config{Entries: 1024, Ways: 8, PageShift: 12}, true},
+		{"fully-assoc", Config{Entries: 8, Ways: 8, PageShift: 12}, true},
+		{"zero entries", Config{Entries: 0, Ways: 8, PageShift: 12}, false},
+		{"zero ways", Config{Entries: 64, Ways: 0, PageShift: 12}, false},
+		{"not multiple", Config{Entries: 100, Ways: 8, PageShift: 12}, false},
+		{"sets not pow2", Config{Entries: 24, Ways: 8, PageShift: 12}, false},
+		{"zero page shift", Config{Entries: 64, Ways: 8, PageShift: 0}, false},
+		{"huge page shift", Config{Entries: 64, Ways: 8, PageShift: 40}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate() error = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestNewRejectsNilPolicy(t *testing.T) {
+	if _, err := New(Config{Entries: 64, Ways: 8, PageShift: 12}, nil); err == nil {
+		t.Fatal("New accepted nil policy")
+	}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	tl, p := newTestTLB(t, 64, 8)
+	a := &Access{PC: 0x1000, VPN: 42}
+	if _, hit := tl.Lookup(a); hit {
+		t.Fatal("empty TLB must miss")
+	}
+	tl.Insert(a, 4242)
+	ppn, hit := tl.Lookup(a)
+	if !hit || ppn != 4242 {
+		t.Fatalf("Lookup after Insert = (%d, %v), want (4242, true)", ppn, hit)
+	}
+	if p.accesses != 2 || p.hits != 1 || p.inserts != 1 || p.victims != 0 {
+		t.Errorf("policy callbacks = %+v unexpected", *p)
+	}
+	st := tl.Stats()
+	if st.Accesses != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v unexpected", st)
+	}
+}
+
+func TestInsertPrefersInvalidWays(t *testing.T) {
+	tl, p := newTestTLB(t, 8, 8) // single set, 8 ways
+	for i := 0; i < 8; i++ {
+		a := &Access{VPN: uint64(i * 8)} // all map to set 0 (8 sets? no: 1 set)
+		tl.Lookup(a)
+		tl.Insert(a, uint64(i))
+	}
+	if p.victims != 0 {
+		t.Fatalf("filling invalid ways must not call Victim; got %d calls", p.victims)
+	}
+	// One more forces an eviction.
+	a := &Access{VPN: 999}
+	tl.Lookup(a)
+	evicted, vpn := tl.Insert(a, 1)
+	if !evicted {
+		t.Fatal("full set must evict")
+	}
+	if p.victims != 1 {
+		t.Fatalf("Victim calls = %d, want 1", p.victims)
+	}
+	if vpn != 0 {
+		t.Errorf("fifo evicted VPN %d, want 0", vpn)
+	}
+	if tl.Contains(0) {
+		t.Error("evicted VPN still resident")
+	}
+	if !tl.Contains(999) {
+		t.Error("inserted VPN not resident")
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	tl, _ := newTestTLB(t, 1024, 8) // 128 sets
+	if tl.Sets() != 128 {
+		t.Fatalf("Sets() = %d, want 128", tl.Sets())
+	}
+	// VPNs that differ only above the set bits map to the same set and
+	// therefore conflict.
+	for i := 0; i < 9; i++ {
+		a := &Access{VPN: uint64(i) * 128 * 7} // multiples of sets share set 0? 128*7 ≡ 0 mod 128
+		if got := tl.SetIndex(a.VPN); got != 0 {
+			t.Fatalf("SetIndex(%d) = %d, want 0", a.VPN, got)
+		}
+		tl.Lookup(a)
+		tl.Insert(a, uint64(i))
+	}
+	st := tl.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1 (9 conflicting fills into 8 ways)", st.Evictions)
+	}
+}
+
+func TestInstrDataCounters(t *testing.T) {
+	tl, _ := newTestTLB(t, 64, 8)
+	tl.Lookup(&Access{VPN: 1, Instr: true})
+	tl.Lookup(&Access{VPN: 2, Instr: false})
+	tl.Lookup(&Access{VPN: 3, Instr: false})
+	st := tl.Stats()
+	if st.InstrAccess != 1 || st.DataAccess != 2 {
+		t.Errorf("instr/data accesses = %d/%d, want 1/2", st.InstrAccess, st.DataAccess)
+	}
+	if st.InstrMisses != 1 || st.DataMisses != 2 {
+		t.Errorf("instr/data misses = %d/%d, want 1/2", st.InstrMisses, st.DataMisses)
+	}
+}
+
+func TestEfficiencyAccounting(t *testing.T) {
+	tl, _ := newTestTLB(t, 8, 8)
+	// Insert VPN 1 at t=1, hit it at t=2 and t=3, then idle accesses to
+	// other VPNs until t=6, flush. Live time 2 (t1→t3), resident 5.
+	a1 := &Access{VPN: 1}
+	tl.Lookup(a1) // t=1 miss
+	tl.Insert(a1, 1)
+	tl.Lookup(a1) // t=2 hit
+	tl.Lookup(a1) // t=3 hit
+	for i := uint64(2); i <= 4; i++ {
+		a := &Access{VPN: i}
+		tl.Lookup(a) // t=4,5,6 misses
+		tl.Insert(a, i)
+	}
+	tl.FlushAccounting()
+	st := tl.Stats()
+	eff := st.Efficiency()
+	// Entry 1: live 3-1=2, resident 6-1=5. Entries 2..4: live 0,
+	// resident 2,1,0. Total live 2, resident 8 → 0.25.
+	if eff < 0.2499 || eff > 0.2501 {
+		t.Errorf("Efficiency() = %v, want 0.25", eff)
+	}
+	// Flushing twice must not double count.
+	tl.FlushAccounting()
+	if got := tl.Stats().Efficiency(); got != eff {
+		t.Errorf("double flush changed efficiency: %v → %v", eff, got)
+	}
+}
+
+func TestEfficiencyZeroWhenIdle(t *testing.T) {
+	tl, _ := newTestTLB(t, 8, 8)
+	if got := tl.Stats().Efficiency(); got != 0 {
+		t.Errorf("idle efficiency = %v, want 0", got)
+	}
+	if got := tl.Stats().MissRatio(); got != 0 {
+		t.Errorf("idle miss ratio = %v, want 0", got)
+	}
+}
+
+func TestPanicOnBadVictim(t *testing.T) {
+	bad := &badVictimPolicy{}
+	tl, err := New(Config{Entries: 2, Ways: 2, PageShift: 12}, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		a := &Access{VPN: uint64(i * 1)}
+		tl.Lookup(a)
+		tl.Insert(a, 0)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid victim way must panic")
+		}
+	}()
+	a := &Access{VPN: 99}
+	tl.Lookup(a)
+	tl.Insert(a, 0)
+}
+
+type badVictimPolicy struct{ fifoPolicy }
+
+func (*badVictimPolicy) Victim(uint32, *Access) int { return 97 }
+
+func TestResidentVPNs(t *testing.T) {
+	tl, _ := newTestTLB(t, 8, 8)
+	want := map[uint64]bool{}
+	for i := uint64(10); i < 14; i++ {
+		a := &Access{VPN: i * 8}
+		tl.Lookup(a)
+		tl.Insert(a, i)
+		want[i*8] = true
+	}
+	got := tl.ResidentVPNs(0)
+	if len(got) != len(want) {
+		t.Fatalf("ResidentVPNs len = %d, want %d", len(got), len(want))
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Errorf("unexpected resident VPN %d", v)
+		}
+	}
+}
+
+func TestRecencyExactLRU(t *testing.T) {
+	r := NewRecency(2, 4)
+	// Touch order in set 0: 0,1,2,3 → LRU is 0.
+	for w := 0; w < 4; w++ {
+		r.Touch(0, w)
+	}
+	if got := r.LRU(0); got != 0 {
+		t.Fatalf("LRU = %d, want 0", got)
+	}
+	r.Touch(0, 0) // now 1 is LRU
+	if got := r.LRU(0); got != 1 {
+		t.Fatalf("LRU after touch = %d, want 1", got)
+	}
+	// Set 1 is independent.
+	r.Touch(1, 2)
+	if got := r.LRU(0); got != 1 {
+		t.Errorf("touching set 1 affected set 0: LRU = %d", got)
+	}
+	if r.Position(0, 0) != 0 {
+		t.Errorf("position of MRU way = %d, want 0", r.Position(0, 0))
+	}
+}
+
+func TestRecencyPositionsArePermutation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const ways = 8
+		r := NewRecency(1, ways)
+		for _, op := range ops {
+			r.Touch(0, int(op%ways))
+		}
+		seen := [ways]bool{}
+		for w := 0; w < ways; w++ {
+			p := r.Position(0, w)
+			if p < 0 || p >= ways || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecencyTooManyWays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRecency must panic above 255 ways")
+		}
+	}()
+	NewRecency(1, 256)
+}

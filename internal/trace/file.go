@@ -1,0 +1,320 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary trace file format ("CHTR"):
+//
+//	header:  magic "CHTR" | version u8 | flags u8 | reserved u16
+//	         record count u64 | instruction count u64
+//	records: class u8 | skip uvarint | pc-delta svarint |
+//	         [ea svarint-delta]        for loads/stores
+//	         [taken u8, target svarint-delta-from-pc] for branches
+//
+// PC and EA streams are delta-encoded against their own previous
+// values, which makes typical traces compress to a few bits per
+// record before gzip. The whole payload after the header is gzip'd
+// when flagFormatGzip is set (the default for files).
+
+const (
+	fileMagic   = "CHTR"
+	fileVersion = 1
+
+	flagGzip = 1 << 0
+)
+
+// ErrBadTrace is wrapped by all trace-file decoding errors.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// Writer serialises records to the binary trace format.
+type Writer struct {
+	w      *bufio.Writer
+	gz     *gzip.Writer
+	under  io.Writer
+	buf    [2 * binary.MaxVarintLen64]byte
+	lastPC uint64
+	lastEA uint64
+
+	records      uint64
+	instructions uint64
+	headerAt     io.WriteSeeker // non-nil when counts can be back-patched
+}
+
+// NewWriter returns a Writer emitting to w. When w is an
+// io.WriteSeeker (e.g. an *os.File), the header's record and
+// instruction counts are back-patched on Close; otherwise they are
+// written as zero and readers must not rely on them.
+func NewWriter(w io.Writer) (*Writer, error) {
+	tw := &Writer{under: w}
+	if ws, ok := w.(io.WriteSeeker); ok {
+		tw.headerAt = ws
+	}
+	var hdr [24]byte
+	copy(hdr[:4], fileMagic)
+	hdr[4] = fileVersion
+	hdr[5] = flagGzip
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	tw.gz = gzip.NewWriter(w)
+	tw.w = bufio.NewWriterSize(tw.gz, 1<<16)
+	return tw, nil
+}
+
+// Write appends one record.
+func (tw *Writer) Write(rec *Record) error {
+	b := tw.buf[:0]
+	b = append(b, byte(rec.Class))
+	b = binary.AppendUvarint(b, uint64(rec.Skip))
+	b = binary.AppendVarint(b, int64(rec.PC-tw.lastPC))
+	tw.lastPC = rec.PC
+	switch {
+	case rec.Class.IsMemory():
+		b = binary.AppendVarint(b, int64(rec.EA-tw.lastEA))
+		tw.lastEA = rec.EA
+	case rec.Class.IsBranch():
+		t := byte(0)
+		if rec.Taken {
+			t = 1
+		}
+		b = append(b, t)
+		b = binary.AppendVarint(b, int64(rec.Target-rec.PC))
+	}
+	if _, err := tw.w.Write(b); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	tw.records++
+	tw.instructions += rec.Instructions()
+	return nil
+}
+
+// Close flushes the stream and back-patches the header counts when the
+// underlying writer is seekable. It does not close the underlying
+// writer.
+func (tw *Writer) Close() error {
+	if err := tw.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	if err := tw.gz.Close(); err != nil {
+		return fmt.Errorf("trace: closing gzip stream: %w", err)
+	}
+	if tw.headerAt == nil {
+		return nil
+	}
+	var counts [16]byte
+	binary.LittleEndian.PutUint64(counts[0:], tw.records)
+	binary.LittleEndian.PutUint64(counts[8:], tw.instructions)
+	if _, err := tw.headerAt.Seek(8, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: seeking to header: %w", err)
+	}
+	if _, err := tw.headerAt.Write(counts[:]); err != nil {
+		return fmt.Errorf("trace: patching header: %w", err)
+	}
+	_, err := tw.headerAt.Seek(0, io.SeekEnd)
+	return err
+}
+
+// Records returns how many records have been written so far.
+func (tw *Writer) Records() uint64 { return tw.records }
+
+// Instructions returns how many committed instructions (including
+// skipped ALU runs) have been written so far.
+func (tw *Writer) Instructions() uint64 { return tw.instructions }
+
+// Reader decodes the binary trace format. It implements Source for a
+// single pass; Reset is only supported by FileSource (which can
+// reopen), not by a bare Reader over a generic io.Reader.
+type Reader struct {
+	br      *bufio.Reader
+	gz      *gzip.Reader
+	lastPC  uint64
+	lastEA  uint64
+	records uint64
+	instrs  uint64
+	err     error
+}
+
+// NewReader parses the header from r and returns a Reader positioned
+// at the first record. The reported counts are zero when the producer
+// could not back-patch them.
+func NewReader(r io.Reader) (*Reader, uint64, uint64, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if string(hdr[:4]) != fileMagic {
+		return nil, 0, 0, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
+	}
+	if hdr[4] != fileVersion {
+		return nil, 0, 0, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, hdr[4])
+	}
+	records := binary.LittleEndian.Uint64(hdr[8:])
+	instrs := binary.LittleEndian.Uint64(hdr[16:])
+	tr := &Reader{records: records, instrs: instrs}
+	if hdr[5]&flagGzip != 0 {
+		gz, err := gzip.NewReader(r)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("%w: gzip: %v", ErrBadTrace, err)
+		}
+		tr.gz = gz
+		tr.br = bufio.NewReaderSize(gz, 1<<16)
+	} else {
+		tr.br = bufio.NewReaderSize(r, 1<<16)
+	}
+	return tr, records, instrs, nil
+}
+
+// Next implements Source. Decoding errors are recorded and surface via
+// Err; Next then reports false.
+func (tr *Reader) Next(rec *Record) bool {
+	if tr.err != nil {
+		return false
+	}
+	cls, err := tr.br.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			tr.err = fmt.Errorf("%w: reading class: %v", ErrBadTrace, err)
+		}
+		return false
+	}
+	if int(cls) >= NumClasses {
+		tr.err = fmt.Errorf("%w: invalid class %d", ErrBadTrace, cls)
+		return false
+	}
+	rec.Class = Class(cls)
+	skip, err := binary.ReadUvarint(tr.br)
+	if err != nil {
+		tr.err = fmt.Errorf("%w: reading skip: %v", ErrBadTrace, err)
+		return false
+	}
+	rec.Skip = uint32(skip)
+	dpc, err := binary.ReadVarint(tr.br)
+	if err != nil {
+		tr.err = fmt.Errorf("%w: reading pc: %v", ErrBadTrace, err)
+		return false
+	}
+	tr.lastPC += uint64(dpc)
+	rec.PC = tr.lastPC
+	rec.EA, rec.Target, rec.Taken = 0, 0, false
+	switch {
+	case rec.Class.IsMemory():
+		dea, err := binary.ReadVarint(tr.br)
+		if err != nil {
+			tr.err = fmt.Errorf("%w: reading ea: %v", ErrBadTrace, err)
+			return false
+		}
+		tr.lastEA += uint64(dea)
+		rec.EA = tr.lastEA
+	case rec.Class.IsBranch():
+		t, err := tr.br.ReadByte()
+		if err != nil {
+			tr.err = fmt.Errorf("%w: reading outcome: %v", ErrBadTrace, err)
+			return false
+		}
+		rec.Taken = t != 0
+		dt, err := binary.ReadVarint(tr.br)
+		if err != nil {
+			tr.err = fmt.Errorf("%w: reading target: %v", ErrBadTrace, err)
+			return false
+		}
+		rec.Target = rec.PC + uint64(dt)
+	}
+	return true
+}
+
+// Reset implements Source but always panics: a bare Reader cannot
+// rewind an arbitrary io.Reader. Use FileSource for resettable
+// file-backed traces.
+func (tr *Reader) Reset() { panic("trace: Reader cannot Reset; use FileSource") }
+
+// Err returns the first decoding error encountered, if any.
+func (tr *Reader) Err() error { return tr.err }
+
+// FileSource is a resettable Source backed by a trace file on disk.
+type FileSource struct {
+	Path string
+
+	f  *os.File
+	r  *Reader
+	rc uint64
+	ic uint64
+}
+
+// OpenFile opens a trace file as a resettable Source.
+func OpenFile(path string) (*FileSource, error) {
+	fs := &FileSource{Path: path}
+	if err := fs.open(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func (fs *FileSource) open() error {
+	f, err := os.Open(fs.Path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	r, rc, ic, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	fs.f, fs.r, fs.rc, fs.ic = f, r, rc, ic
+	return nil
+}
+
+// Next implements Source.
+func (fs *FileSource) Next(rec *Record) bool { return fs.r.Next(rec) }
+
+// Reset implements Source by reopening the file.
+func (fs *FileSource) Reset() {
+	fs.f.Close()
+	if err := fs.open(); err != nil {
+		// A file that opened once and then fails to reopen is an
+		// environment failure (deleted/unreadable); surface it loudly.
+		panic(fmt.Sprintf("trace: reopening %s: %v", fs.Path, err))
+	}
+}
+
+// Close releases the underlying file.
+func (fs *FileSource) Close() error { return fs.f.Close() }
+
+// Counts returns the header's record and instruction counts.
+func (fs *FileSource) Counts() (records, instructions uint64) { return fs.rc, fs.ic }
+
+// Err returns the first decoding error encountered, if any.
+func (fs *FileSource) Err() error { return fs.r.Err() }
+
+// WriteFile materialises src into a trace file at path.
+func WriteFile(path string, src Source) (records, instructions uint64, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("trace: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("trace: %w", cerr)
+		}
+	}()
+	w, err := NewWriter(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	var rec Record
+	for src.Next(&rec) {
+		if err := w.Write(&rec); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return 0, 0, err
+	}
+	return w.Records(), w.Instructions(), nil
+}

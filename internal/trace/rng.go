@@ -1,0 +1,112 @@
+package trace
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator
+// (xorshift64* with a splitmix64-seeded state). Every randomised piece
+// of the workload generators and simulators uses RNG so runs are
+// exactly reproducible from a seed, independent of Go release or of
+// math/rand behaviour.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded from seed. Any seed, including 0,
+// yields a usable non-degenerate state.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the state derived from seed.
+func (r *RNG) Seed(seed uint64) {
+	// splitmix64 step so that nearby seeds produce unrelated streams.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	r.state = z
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniformly distributed int in [0, n). It panics if
+// n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("trace: RNG.Intn called with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n). It panics
+// if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("trace: RNG.Uint64n called with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf draws from a bounded Zipf-like distribution over [0, n) with
+// exponent s (s >= 0; s == 0 is uniform). It uses the inverse-CDF of
+// the continuous density p(x) ∝ x^(-s) over [1, n+1), which is
+// adequate for workload skew modelling and needs no per-call table.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	if s <= 0 {
+		return r.Intn(n)
+	}
+	if s > 0.99 {
+		s = 0.99
+	}
+	u := r.Float64()
+	x := math.Pow(float64(n), 1.0-s)*u + (1.0 - u)
+	v := math.Pow(x, 1.0/(1.0-s)) - 1.0
+	idx := int(v)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}

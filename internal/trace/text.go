@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text trace format: a line-oriented import/export format so users can
+// feed externally captured traces (e.g. converted CVP-1 or Pin logs)
+// into the simulators without writing Go. One record per line:
+//
+//	pc class [ea|taken target] [skip]
+//
+//	0x401000 alu 12
+//	0x401004 load 0x7f32000 3
+//	0x401008 cond-branch 1 0x401000 0
+//	0x40100c uncond-indirect 1 0x402000
+//
+// Fields are whitespace-separated; integers accept 0x prefixes; class
+// names match Class.String(). Lines starting with '#' and blank lines
+// are ignored.
+
+// ParseTextRecord parses one line of the text format.
+func ParseTextRecord(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Record{}, fmt.Errorf("trace: text record needs at least pc and class: %q", line)
+	}
+	pc, err := parseUint(fields[0])
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: bad pc %q: %v", fields[0], err)
+	}
+	rec := Record{PC: pc}
+	switch fields[1] {
+	case "alu":
+		rec.Class = ClassALU
+	case "load":
+		rec.Class = ClassLoad
+	case "store":
+		rec.Class = ClassStore
+	case "cond-branch":
+		rec.Class = ClassCondBranch
+	case "uncond-direct":
+		rec.Class = ClassUncondDirect
+	case "uncond-indirect":
+		rec.Class = ClassUncondIndirect
+	default:
+		return Record{}, fmt.Errorf("trace: unknown class %q", fields[1])
+	}
+	rest := fields[2:]
+	switch {
+	case rec.Class.IsMemory():
+		if len(rest) < 1 {
+			return Record{}, fmt.Errorf("trace: %s record needs an effective address: %q", rec.Class, line)
+		}
+		ea, err := parseUint(rest[0])
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: bad ea %q: %v", rest[0], err)
+		}
+		rec.EA = ea
+		rest = rest[1:]
+	case rec.Class.IsBranch():
+		if len(rest) < 2 {
+			return Record{}, fmt.Errorf("trace: branch record needs taken and target: %q", line)
+		}
+		taken, err := strconv.ParseBool(rest[0])
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: bad taken flag %q: %v", rest[0], err)
+		}
+		target, err := parseUint(rest[1])
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: bad target %q: %v", rest[1], err)
+		}
+		rec.Taken, rec.Target = taken, target
+		rest = rest[2:]
+	}
+	if len(rest) > 0 {
+		skip, err := parseUint(rest[0])
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: bad skip %q: %v", rest[0], err)
+		}
+		rec.Skip = uint32(skip)
+	}
+	return rec, nil
+}
+
+func parseUint(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimPrefix(s, "0x"), base(s), 64)
+}
+
+func base(s string) int {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return 16
+	}
+	return 10
+}
+
+// TextReader streams records from the text format. It implements
+// Source for a single pass.
+type TextReader struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+}
+
+// NewTextReader wraps r.
+func NewTextReader(r io.Reader) *TextReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	return &TextReader{sc: sc}
+}
+
+// Next implements Source.
+func (t *TextReader) Next(rec *Record) bool {
+	if t.err != nil {
+		return false
+	}
+	for t.sc.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := ParseTextRecord(line)
+		if err != nil {
+			t.err = fmt.Errorf("line %d: %w", t.line, err)
+			return false
+		}
+		*rec = r
+		return true
+	}
+	t.err = t.sc.Err()
+	return false
+}
+
+// Reset implements Source but always panics: wrap the input in a
+// SliceSource (via Collect) for resettable replay.
+func (t *TextReader) Reset() { panic("trace: TextReader cannot Reset; Collect it first") }
+
+// Err returns the first parse or IO error.
+func (t *TextReader) Err() error { return t.err }
+
+// WriteText emits src in the text format.
+func WriteText(w io.Writer, src Source) error {
+	bw := bufio.NewWriter(w)
+	var rec Record
+	for src.Next(&rec) {
+		var line string
+		switch {
+		case rec.Class.IsMemory():
+			line = fmt.Sprintf("0x%x %s 0x%x %d", rec.PC, rec.Class, rec.EA, rec.Skip)
+		case rec.Class.IsBranch():
+			t := 0
+			if rec.Taken {
+				t = 1
+			}
+			line = fmt.Sprintf("0x%x %s %d 0x%x %d", rec.PC, rec.Class, t, rec.Target, rec.Skip)
+		default:
+			line = fmt.Sprintf("0x%x %s %d", rec.PC, rec.Class, rec.Skip)
+		}
+		if _, err := fmt.Fprintln(bw, line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseTextRecord(t *testing.T) {
+	tests := []struct {
+		line string
+		want Record
+	}{
+		{"0x401000 alu 12", Record{PC: 0x401000, Class: ClassALU, Skip: 12}},
+		{"0x401004 load 0x7f32000 3", Record{PC: 0x401004, Class: ClassLoad, EA: 0x7f32000, Skip: 3}},
+		{"4198408 store 1024", Record{PC: 4198408, Class: ClassStore, EA: 1024}},
+		{"0x401008 cond-branch 1 0x401000 0", Record{PC: 0x401008, Class: ClassCondBranch, Taken: true, Target: 0x401000}},
+		{"0x40100c uncond-indirect 1 0x402000", Record{PC: 0x40100c, Class: ClassUncondIndirect, Taken: true, Target: 0x402000}},
+		{"0x401010 uncond-direct 1 0x403000 7", Record{PC: 0x401010, Class: ClassUncondDirect, Taken: true, Target: 0x403000, Skip: 7}},
+	}
+	for _, tt := range tests {
+		got, err := ParseTextRecord(tt.line)
+		if err != nil {
+			t.Errorf("ParseTextRecord(%q): %v", tt.line, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParseTextRecord(%q) = %+v, want %+v", tt.line, got, tt.want)
+		}
+	}
+}
+
+func TestParseTextRecordErrors(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"0x1000",
+		"zzz alu",
+		"0x1000 wiggle",
+		"0x1000 load",          // missing ea
+		"0x1000 load zz",       // bad ea
+		"0x1000 cond-branch 1", // missing target
+		"0x1000 cond-branch x 0x2000",
+		"0x1000 alu notanumber",
+	} {
+		if _, err := ParseTextRecord(line); err == nil {
+			t.Errorf("ParseTextRecord(%q) accepted", line)
+		}
+	}
+}
+
+func TestTextReaderSkipsCommentsAndBlanks(t *testing.T) {
+	input := `# a comment
+
+0x1000 alu 1
+   # indented comment
+0x1004 load 0x2000 2
+`
+	tr := NewTextReader(strings.NewReader(input))
+	recs := Collect(tr)
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+}
+
+func TestTextReaderReportsLine(t *testing.T) {
+	tr := NewTextReader(strings.NewReader("0x1000 alu 1\nbogus line here\n"))
+	var rec Record
+	if !tr.Next(&rec) {
+		t.Fatal("first record should parse")
+	}
+	if tr.Next(&rec) {
+		t.Fatal("second record should fail")
+	}
+	if err := tr.Err(); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error should name line 2: %v", err)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := NewRNG(seed)
+		count := int(n%50) + 1
+		recs := make([]Record, count)
+		for i := range recs {
+			cls := Class(rng.Intn(NumClasses))
+			rec := Record{PC: rng.Uint64(), Class: cls, Skip: rng.Uint32() % 100}
+			switch {
+			case cls.IsMemory():
+				rec.EA = rng.Uint64()
+			case cls.IsBranch():
+				rec.Taken = rng.Bool(0.5) || cls != ClassCondBranch
+				rec.Target = rng.Uint64()
+			}
+			recs[i] = rec
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, NewSliceSource(recs)); err != nil {
+			return false
+		}
+		tr := NewTextReader(&buf)
+		got := Collect(tr)
+		if tr.Err() != nil || len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTextReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(garbage []byte) bool {
+		tr := NewTextReader(bytes.NewReader(garbage))
+		var rec Record
+		for tr.Next(&rec) {
+		}
+		return true // reaching here without panic is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(garbage []byte) bool {
+		r, _, _, err := NewReader(bytes.NewReader(garbage))
+		if err != nil {
+			return true
+		}
+		var rec Record
+		for i := 0; i < 1000 && r.Next(&rec); i++ {
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

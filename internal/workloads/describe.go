@@ -1,0 +1,115 @@
+package workloads
+
+import "strconv"
+
+// Description is a JSON-friendly summary of a workload's program
+// model, for inspection and documentation tooling (chirpsim
+// -describe).
+type Description struct {
+	Name          string       `json:"name"`
+	Category      string       `json:"category"`
+	Profile       string       `json:"profile"`
+	Seed          uint64       `json:"seed"`
+	Kernels       int          `json:"kernels"`
+	CodePages     uint64       `json:"codePages"`
+	DataPages     uint64       `json:"dataPages"`
+	DataFootprint string       `json:"dataFootprint"`
+	Regions       []RegionDesc `json:"regions"`
+	Sites         []SiteDesc   `json:"sites"`
+	Phases        int          `json:"phases"`
+	CallsPerPhase int          `json:"callsPerPhase"`
+	RunLength     [2]int       `json:"runLength"`
+	SkipScale     uint32       `json:"skipScale"`
+}
+
+// RegionDesc summarises one data region.
+type RegionDesc struct {
+	BasePage uint64 `json:"basePage"`
+	Pages    uint64 `json:"pages"`
+	HotPages uint64 `json:"hotPages,omitempty"`
+}
+
+// SiteDesc summarises one call site.
+type SiteDesc struct {
+	Behavior     string   `json:"behavior"`
+	Region       int      `json:"region"`
+	PagesPerCall int      `json:"pagesPerCall"`
+	ZipfSkew     float64  `json:"zipfSkew,omitempty"`
+	ChunkPages   uint64   `json:"chunkPages,omitempty"`
+	Passes       uint64   `json:"passes,omitempty"`
+	WindowDrift  uint64   `json:"windowDrift,omitempty"`
+	Indirect     bool     `json:"indirect,omitempty"`
+	Weights      []uint32 `json:"phaseWeights"`
+}
+
+// Describe summarises prog.
+func Describe(prog *Program) Description {
+	d := Description{
+		Name:          prog.Name,
+		Category:      prog.Category,
+		Profile:       prog.Profile,
+		Seed:          prog.Seed,
+		Kernels:       len(prog.Kernels),
+		Phases:        len(prog.Phases),
+		CallsPerPhase: prog.CallsPerPhase,
+		RunLength:     [2]int{prog.RunMin, prog.RunMax},
+		SkipScale:     prog.SkipScale,
+	}
+	regionIdx := map[*Region]int{}
+	var dataPages uint64
+	for i, r := range prog.Regions {
+		regionIdx[r] = i
+		dataPages += r.Pages
+		d.Regions = append(d.Regions, RegionDesc{BasePage: r.BasePage, Pages: r.Pages, HotPages: r.Hot})
+	}
+	d.DataPages = dataPages
+	d.DataFootprint = formatPages(dataPages)
+	var maxCode uint64
+	for _, k := range prog.Kernels {
+		for _, pc := range k.LoadPCs {
+			if page := pc >> pageShift; page > maxCode {
+				maxCode = page
+			}
+		}
+	}
+	for i, s := range prog.Sites {
+		sd := SiteDesc{
+			Behavior:     s.Behavior.String(),
+			Region:       regionIdx[s.Region],
+			PagesPerCall: s.PagesPerCall,
+			ZipfSkew:     s.ZipfSkew,
+			ChunkPages:   s.ChunkPages,
+			Passes:       s.Passes,
+			WindowDrift:  s.WindowDrift,
+			Indirect:     s.IndirectCall,
+		}
+		for _, ph := range prog.Phases {
+			sd.Weights = append(sd.Weights, ph.Weights[i])
+		}
+		d.Sites = append(d.Sites, sd)
+		if page := s.CallPC >> pageShift; page > maxCode {
+			maxCode = page
+		}
+	}
+	if maxCode >= 0x400 {
+		d.CodePages = maxCode - 0x400 + 1
+	}
+	return d
+}
+
+// formatPages renders a page count as a human size (4 KB pages).
+func formatPages(pages uint64) string {
+	bytes := pages << pageShift
+	switch {
+	case bytes >= 1<<30:
+		return itoaF(float64(bytes)/(1<<30)) + " GiB"
+	case bytes >= 1<<20:
+		return itoaF(float64(bytes)/(1<<20)) + " MiB"
+	default:
+		return itoaF(float64(bytes)/(1<<10)) + " KiB"
+	}
+}
+
+func itoaF(f float64) string {
+	return strconv.FormatFloat(f, 'f', 1, 64)
+}

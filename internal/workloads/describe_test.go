@@ -1,0 +1,44 @@
+package workloads
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	w := ByName("db-003")
+	d := Describe(w.Program())
+	if d.Name != "db-003" || d.Category != "db" {
+		t.Fatalf("identity wrong: %+v", d)
+	}
+	if d.Kernels == 0 || len(d.Regions) == 0 || len(d.Sites) == 0 {
+		t.Fatalf("empty description: %+v", d)
+	}
+	if d.DataPages == 0 || d.DataFootprint == "" {
+		t.Errorf("footprint missing: %+v", d)
+	}
+	for i, s := range d.Sites {
+		if len(s.Weights) != d.Phases {
+			t.Errorf("site %d has %d weights for %d phases", i, len(s.Weights), d.Phases)
+		}
+		if s.Region < 0 || s.Region >= len(d.Regions) {
+			t.Errorf("site %d region index %d out of range", i, s.Region)
+		}
+	}
+	// Must serialise cleanly.
+	if _, err := json.Marshal(d); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestFormatPages(t *testing.T) {
+	if got := formatPages(1); got != "4.0 KiB" {
+		t.Errorf("formatPages(1) = %q", got)
+	}
+	if got := formatPages(256); got != "1.0 MiB" {
+		t.Errorf("formatPages(256) = %q", got)
+	}
+	if got := formatPages(1 << 18); got != "1.0 GiB" {
+		t.Errorf("formatPages(1<<18) = %q", got)
+	}
+}

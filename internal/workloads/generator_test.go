@@ -1,0 +1,177 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/chirplab/chirp/internal/trace"
+)
+
+func TestCallStructure(t *testing.T) {
+	// Every kernel invocation must follow the shape: dispatch branch →
+	// call → (loads [stores] [noise] loop-branch)+ → indirect return.
+	w := ByName("spec-000")
+	src := trace.NewLimit(w.Source(), 30000)
+	var rec trace.Record
+	var prev trace.Record
+	calls, returns := 0, 0
+	for src.Next(&rec) {
+		switch rec.Class {
+		case trace.ClassUncondDirect:
+			calls++
+			// A call must be preceded by its dispatch branch.
+			if prev.Class != trace.ClassCondBranch {
+				t.Fatalf("direct call at %#x not preceded by a dispatch branch (prev %v)", rec.PC, prev.Class)
+			}
+			if !prev.Taken || prev.Target != rec.PC {
+				t.Fatalf("dispatch branch does not target the call: %+v → %+v", prev, rec)
+			}
+		case trace.ClassUncondIndirect:
+			returns++
+		}
+		prev = rec
+	}
+	if calls == 0 {
+		t.Fatal("no direct calls observed")
+	}
+	if returns == 0 {
+		t.Fatal("no returns observed")
+	}
+}
+
+func TestWindowBehaviorSlides(t *testing.T) {
+	r := &Region{BasePage: 1000, Pages: 100, Hot: 10}
+	s := &Site{Region: r, Behavior: Window, WindowDrift: 3}
+	g := &Generator{prog: &Program{Seed: 1, Regions: []*Region{r},
+		Sites:  []*Site{s},
+		Phases: []Phase{{Weights: []uint32{1}}}}}
+	g.Reset()
+	// First pass covers pages 1000..1009.
+	for i := 0; i < 10; i++ {
+		if got, want := g.selectPage(s), uint64(1000+i); got != want {
+			t.Fatalf("pass 1 page %d = %d, want %d", i, got, want)
+		}
+	}
+	// Second pass starts at 1003 (drift 3).
+	for i := 0; i < 10; i++ {
+		if got, want := g.selectPage(s), uint64(1003+i); got != want {
+			t.Fatalf("pass 2 page %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWindowZeroDriftIsLoop(t *testing.T) {
+	r := &Region{BasePage: 500, Pages: 40, Hot: 4}
+	s := &Site{Region: r, Behavior: Window, WindowDrift: 0}
+	g := &Generator{prog: &Program{Seed: 1, Regions: []*Region{r},
+		Sites:  []*Site{s},
+		Phases: []Phase{{Weights: []uint32{1}}}}}
+	g.Reset()
+	for i := 0; i < 12; i++ {
+		if got, want := g.selectPage(s), uint64(500+i%4); got != want {
+			t.Fatalf("page %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWindowWrapsRegion(t *testing.T) {
+	r := &Region{BasePage: 100, Pages: 12, Hot: 8}
+	s := &Site{Region: r, Behavior: Window, WindowDrift: 8}
+	g := &Generator{prog: &Program{Seed: 1, Regions: []*Region{r},
+		Sites:  []*Site{s},
+		Phases: []Phase{{Weights: []uint32{1}}}}}
+	g.Reset()
+	seen := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		p := g.selectPage(s)
+		if p < 100 || p >= 112 {
+			t.Fatalf("window escaped its region: page %d", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 12 {
+		t.Errorf("sliding window covered %d/12 pages", len(seen))
+	}
+}
+
+func TestStreamWrapsWithoutEscape(t *testing.T) {
+	f := func(pagesRaw uint8, steps uint16) bool {
+		pages := uint64(pagesRaw%50) + 1
+		r := &Region{BasePage: 7, Pages: pages}
+		s := &Site{Region: r, Behavior: Stream}
+		g := &Generator{prog: &Program{Seed: 1, Regions: []*Region{r},
+			Sites:  []*Site{s},
+			Phases: []Phase{{Weights: []uint32{1}}}}}
+		g.Reset()
+		for i := 0; i < int(steps%500); i++ {
+			p := g.selectPage(s)
+			if p < 7 || p >= 7+pages {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfHeadHotterThanTail(t *testing.T) {
+	r := &Region{BasePage: 0, Pages: 1000}
+	s := &Site{Region: r, Behavior: Zipf, ZipfSkew: 0.9}
+	g := &Generator{prog: &Program{Seed: 9, Regions: []*Region{r},
+		Sites:  []*Site{s},
+		Phases: []Phase{{Weights: []uint32{1}}}}}
+	g.Reset()
+	head, tail := 0, 0
+	for i := 0; i < 20000; i++ {
+		if p := g.selectPage(s); p < 100 {
+			head++
+		} else if p >= 900 {
+			tail++
+		}
+	}
+	if head < tail*5 {
+		t.Errorf("zipf head (%d) not much hotter than tail (%d)", head, tail)
+	}
+}
+
+func TestSuiteFullBuildsEveryProgram(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building all 870 programs is slow-ish")
+	}
+	for _, w := range Suite() {
+		prog := w.Program()
+		if len(prog.Sites) == 0 || len(prog.Phases) == 0 || len(prog.Regions) == 0 {
+			t.Fatalf("%s: degenerate program %+v", w.Name, prog)
+		}
+		// Drain a few records to prove the generator starts.
+		src := trace.NewLimit(NewGenerator(prog), 500)
+		var rec trace.Record
+		if !src.Next(&rec) {
+			t.Fatalf("%s: generator produced nothing", w.Name)
+		}
+	}
+}
+
+func TestProfileMixtureAcrossSuite(t *testing.T) {
+	counts := map[string]int{}
+	for _, w := range Suite() {
+		counts[w.Program().Profile]++
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != SuiteSize {
+		t.Fatalf("profiles counted %d, want %d", total, SuiteSize)
+	}
+	// The quiet head must be the plurality; pressure and migrate both
+	// well represented.
+	if counts["quiet"] < 300 {
+		t.Errorf("quiet = %d, want ≥ 300", counts["quiet"])
+	}
+	if counts["pressure"] < 180 || counts["migrate"] < 90 {
+		t.Errorf("pressure/migrate = %d/%d, want ≥ 180/90", counts["pressure"], counts["migrate"])
+	}
+}

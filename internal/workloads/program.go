@@ -1,0 +1,456 @@
+// Package workloads synthesises the 870-benchmark suite that stands in
+// for the Qualcomm CVP-1 traces the paper simulates (§V). Each
+// workload is a deterministic program model — code regions, data
+// regions, call sites, and per-site access behaviours — that streams
+// trace.Records.
+//
+// The generators are built around the mechanisms the paper identifies
+// as what makes TLB reuse predictable from control-flow history and
+// *not* from the accessing PC alone (§III):
+//
+//   - Coarse granularity: many PCs touch the same page; the same load
+//     PC touches many pages (kernels are shared across call sites).
+//   - Context-dependent reuse: the same kernel (same load PCs) is
+//     invoked from different call sites, some of which drive one-shot
+//     streams over large regions (dead pages) and some of which drive
+//     loops over working sets (live pages). Only the control-flow
+//     history — the caller's branches — distinguishes them.
+//   - Scans, cyclic working sets slightly above TLB reach, skewed
+//     (Zipf) page popularity, pointer chases, and large code footprints
+//     that pressure the instruction side.
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/chirplab/chirp/internal/trace"
+)
+
+// Behavior is the page-reuse pattern a call site drives through its
+// kernel.
+type Behavior uint8
+
+const (
+	// Stream touches fresh pages sequentially and never revisits them
+	// before a full wrap of a large region: dead-on-arrival entries.
+	Stream Behavior = iota
+	// Loop cycles through a bounded working set in order: reuse
+	// distance equals the working-set size.
+	Loop
+	// Chase walks a fixed pseudo-random permutation of a bounded
+	// working set: same reuse distance as Loop, unordered.
+	Chase
+	// Zipf draws pages with skewed popularity: a hot head that is
+	// strongly live and a long cold tail.
+	Zipf
+	// Gups draws uniformly from a large region: essentially
+	// unpredictable, low reuse.
+	Gups
+	// Batch processes a chunk of fresh pages in several passes before
+	// advancing to the next chunk: insert → a few near-term reuses →
+	// dead. This is the blocked/sort-run/packet-batch pattern; it keeps
+	// PC-indexed reuse counters oscillating (paper §III Observation 2)
+	// because the same load PCs that stream dead pages also produce
+	// steady "reused" training events.
+	Batch
+	// Window cycles over a hot window that slides across its region:
+	// every full pass, the window start advances by the site's
+	// WindowDrift pages, retiring the oldest pages and admitting fresh
+	// ones. Drifting working sets are what separate genuine reuse
+	// *prediction* from indiscriminate "freeze whatever is resident"
+	// strategies: frozen stale pages become dead weight, while a
+	// policy that recognises the hot context protects the incoming
+	// pages immediately.
+	Window
+)
+
+// String returns the behaviour's name.
+func (b Behavior) String() string {
+	switch b {
+	case Stream:
+		return "stream"
+	case Loop:
+		return "loop"
+	case Chase:
+		return "chase"
+	case Zipf:
+		return "zipf"
+	case Gups:
+		return "gups"
+	case Batch:
+		return "batch"
+	case Window:
+		return "window"
+	}
+	return fmt.Sprintf("behavior(%d)", uint8(b))
+}
+
+// pageShift is the 4 KB page geometry every workload uses (§V: the
+// paper's study is for the standard 4 KB page size).
+const pageShift = 12
+
+// Region is a contiguous range of virtual data pages with the cursor
+// state its behaviours need.
+type Region struct {
+	BasePage uint64
+	Pages    uint64
+	// Hot bounds the working subset used by Loop and Chase.
+	Hot uint64
+
+	cursor uint64
+	perm   []uint32
+	pos    uint64
+	// Batch state: current chunk origin and completed passes over it.
+	chunkStart uint64
+	chunkPass  uint64
+	// Window state: the sliding window's origin.
+	windowStart uint64
+}
+
+// Kernel is a shared code body: a handful of load/store PCs, a loop
+// branch, optional data-dependent noise branches, and a return. The
+// same kernel may be bound to many call sites — that PC-sharing is
+// exactly what defeats PC-only signatures (§III Observation 1/2).
+type Kernel struct {
+	EntryPC      uint64
+	LoadPCs      []uint64
+	StorePC      uint64 // 0 when the kernel never stores
+	LoopBranchPC uint64
+	NoisePCs     []uint64 // data-dependent conditional branches
+	RetPC        uint64
+}
+
+// Site is one call site: the dispatch branch and call instruction that
+// invoke a kernel on a region with a behaviour. Its PCs are the
+// control-flow context CHiRP's histories capture.
+type Site struct {
+	BranchPC     uint64
+	CallPC       uint64
+	Kernel       *Kernel
+	Region       *Region
+	Behavior     Behavior
+	ZipfSkew     float64
+	PagesPerCall int
+	// LoadsPerPage is how many of the kernel's load PCs touch each
+	// page (the coarse-granularity many-PCs-per-page effect).
+	LoadsPerPage int
+	// Stores adds a store to each touched page.
+	Stores bool
+	// IndirectCall dispatches through a pointer (vtable-style).
+	IndirectCall bool
+	// SkipALU is the ALU run length between emitted records.
+	SkipALU uint32
+	// ChunkPages and Passes parameterise the Batch behaviour: Passes
+	// sweeps over each ChunkPages-page chunk before it advances.
+	ChunkPages uint64
+	Passes     uint64
+	// WindowDrift is how many pages the Window behaviour's hot window
+	// advances per full pass (0 degenerates to Loop).
+	WindowDrift uint64
+}
+
+// Phase is a weighting over sites; the program switches phases every
+// CallsPerPhase kernel invocations, modelling program phase behaviour.
+type Phase struct {
+	Weights []uint32 // parallel to Program.Sites; 0 disables a site
+}
+
+// Program is a complete synthetic program.
+type Program struct {
+	Name     string
+	Category string
+	Seed     uint64
+	// Profile labels the population profile the workload was drawn
+	// with ("quiet", "pressure", "migrate"); informational.
+	Profile string
+
+	Kernels []*Kernel
+	Regions []*Region
+	Sites   []*Site
+	Phases  []Phase
+	// CallsPerPhase is the invocation count before the next phase.
+	CallsPerPhase int
+	// RunMin/RunMax bound how many consecutive invocations stay on the
+	// same site before the next weighted pick. Real programs execute
+	// call sites in loops, not i.i.d. interleavings; runs give the
+	// control-flow histories temporal purity. Zero values mean 1
+	// (re-pick every call).
+	RunMin, RunMax int
+	// SkipScale multiplies every site's SkipALU at emission: a pure
+	// instruction-dilution knob that sets absolute MPKI without
+	// changing the TLB access stream (policy comparisons are
+	// unaffected). Zero means 1.
+	SkipScale uint32
+}
+
+// Generator streams a Program as trace records. It implements
+// trace.Source deterministically.
+type Generator struct {
+	prog *Program
+	rng  *trace.RNG
+
+	queue []trace.Record
+	qpos  int
+
+	phase     int
+	callCount int
+	cum       []uint64 // cumulative site weights for the current phase
+	cumTotal  uint64
+	curSite   *Site
+	runLeft   int
+}
+
+// NewGenerator returns a Source over prog. The stream is infinite
+// (wrap trace.Limit around it); it is restarted exactly by Reset.
+func NewGenerator(prog *Program) *Generator {
+	g := &Generator{prog: prog}
+	g.Reset()
+	return g
+}
+
+// Reset implements trace.Source.
+func (g *Generator) Reset() {
+	g.rng = trace.NewRNG(g.prog.Seed)
+	g.queue = g.queue[:0]
+	g.qpos = 0
+	g.phase = 0
+	g.callCount = 0
+	g.curSite = nil
+	g.runLeft = 0
+	for _, r := range g.prog.Regions {
+		r.cursor = 0
+		r.pos = 0
+		r.chunkStart = 0
+		r.chunkPass = 0
+		r.windowStart = 0
+		if r.perm == nil && r.Hot > 0 {
+			r.perm = buildPerm(int(r.Hot), g.prog.Seed^r.BasePage)
+		}
+	}
+	g.loadPhase()
+}
+
+func buildPerm(n int, seed uint64) []uint32 {
+	rng := trace.NewRNG(seed)
+	p := make([]uint32, n)
+	for i := range p {
+		p[i] = uint32(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+func (g *Generator) loadPhase() {
+	ph := g.prog.Phases[g.phase]
+	if len(ph.Weights) != len(g.prog.Sites) {
+		panic(fmt.Sprintf("workloads: phase weight count %d != site count %d in %s",
+			len(ph.Weights), len(g.prog.Sites), g.prog.Name))
+	}
+	if cap(g.cum) < len(ph.Weights) {
+		g.cum = make([]uint64, len(ph.Weights))
+	}
+	g.cum = g.cum[:len(ph.Weights)]
+	var total uint64
+	for i, w := range ph.Weights {
+		total += uint64(w)
+		g.cum[i] = total
+	}
+	if total == 0 {
+		panic(fmt.Sprintf("workloads: phase %d of %s has zero total weight", g.phase, g.prog.Name))
+	}
+	g.cumTotal = total
+}
+
+// Next implements trace.Source.
+func (g *Generator) Next(rec *trace.Record) bool {
+	for g.qpos >= len(g.queue) {
+		g.queue = g.queue[:0]
+		g.qpos = 0
+		g.emitCall()
+	}
+	*rec = g.queue[g.qpos]
+	g.qpos++
+	return true
+}
+
+// pickSite draws a site from the current phase's weights.
+func (g *Generator) pickSite() *Site {
+	x := g.rng.Uint64n(g.cumTotal)
+	for i, c := range g.cum {
+		if x < c {
+			return g.prog.Sites[i]
+		}
+	}
+	return g.prog.Sites[len(g.prog.Sites)-1]
+}
+
+// selectPage advances a site's region cursor per its behaviour and
+// returns the touched page number.
+func (g *Generator) selectPage(s *Site) uint64 {
+	r := s.Region
+	switch s.Behavior {
+	case Stream:
+		p := r.BasePage + r.cursor
+		r.cursor++
+		if r.cursor >= r.Pages {
+			r.cursor = 0
+		}
+		return p
+	case Loop:
+		hot := r.Hot
+		if hot == 0 || hot > r.Pages {
+			hot = r.Pages
+		}
+		p := r.BasePage + r.cursor
+		r.cursor++
+		if r.cursor >= hot {
+			r.cursor = 0
+		}
+		return p
+	case Chase:
+		hot := uint64(len(r.perm))
+		if hot == 0 {
+			return r.BasePage
+		}
+		p := r.BasePage + uint64(r.perm[r.pos])
+		r.pos++
+		if r.pos >= hot {
+			r.pos = 0
+		}
+		return p
+	case Zipf:
+		return r.BasePage + uint64(g.rng.Zipf(int(r.Pages), s.ZipfSkew))
+	case Gups:
+		return r.BasePage + g.rng.Uint64n(r.Pages)
+	case Window:
+		hot := r.Hot
+		if hot == 0 || hot > r.Pages {
+			hot = r.Pages
+		}
+		p := r.BasePage + (r.windowStart+r.cursor)%r.Pages
+		r.cursor++
+		if r.cursor >= hot {
+			r.cursor = 0
+			r.windowStart = (r.windowStart + s.WindowDrift) % r.Pages
+		}
+		return p
+	case Batch:
+		chunk := s.ChunkPages
+		if chunk == 0 {
+			chunk = 16
+		}
+		if chunk > r.Pages {
+			chunk = r.Pages
+		}
+		passes := s.Passes
+		if passes == 0 {
+			passes = 2
+		}
+		p := r.BasePage + (r.chunkStart+r.cursor)%r.Pages
+		r.cursor++
+		if r.cursor >= chunk {
+			r.cursor = 0
+			r.chunkPass++
+			if r.chunkPass >= passes {
+				r.chunkPass = 0
+				r.chunkStart = (r.chunkStart + chunk) % r.Pages
+			}
+		}
+		return p
+	}
+	return r.BasePage
+}
+
+// emitCall appends one complete kernel invocation to the queue.
+func (g *Generator) emitCall() {
+	g.callCount++
+	if g.prog.CallsPerPhase > 0 && g.callCount%g.prog.CallsPerPhase == 0 && len(g.prog.Phases) > 1 {
+		g.phase = (g.phase + 1) % len(g.prog.Phases)
+		g.loadPhase()
+		g.runLeft = 0 // phase changes break the current run
+	}
+	if g.runLeft <= 0 || g.curSite == nil {
+		g.curSite = g.pickSite()
+		lo, hi := g.prog.RunMin, g.prog.RunMax
+		if lo < 1 {
+			lo = 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		g.runLeft = lo + g.rng.Intn(hi-lo+1)
+	}
+	g.runLeft--
+	s := g.curSite
+	k := s.Kernel
+	mul := g.prog.SkipScale
+	if mul == 0 {
+		mul = 1
+	}
+	skip := s.SkipALU * mul
+
+	// Dispatch branch at the call site: the context marker CHiRP's
+	// conditional history records.
+	g.queue = append(g.queue, trace.Record{
+		PC: s.BranchPC, Class: trace.ClassCondBranch,
+		Taken: true, Target: s.CallPC, Skip: skip,
+	})
+	// The call itself.
+	callClass := trace.ClassUncondDirect
+	if s.IndirectCall {
+		callClass = trace.ClassUncondIndirect
+	}
+	g.queue = append(g.queue, trace.Record{
+		PC: s.CallPC, Class: callClass, Taken: true, Target: k.EntryPC, Skip: 1,
+	})
+
+	loads := s.LoadsPerPage
+	if loads <= 0 {
+		loads = 1
+	}
+	if loads > len(k.LoadPCs) {
+		loads = len(k.LoadPCs)
+	}
+	for i := 0; i < s.PagesPerCall; i++ {
+		page := g.selectPage(s)
+		// The line within the page is a fixed function of the page, so
+		// repeated touches of a hot page hit the same cache lines: data
+		// stalls then come from genuinely cold data, keeping the TLB's
+		// share of stall cycles in the paper's regime.
+		line := (page * 2654435761 % 64) * 64
+		for j := 0; j < loads; j++ {
+			g.queue = append(g.queue, trace.Record{
+				PC: k.LoadPCs[j], Class: trace.ClassLoad,
+				EA:   page<<pageShift | (line+uint64(j)*64)&0xfff,
+				Skip: skip,
+			})
+		}
+		if s.Stores && k.StorePC != 0 {
+			g.queue = append(g.queue, trace.Record{
+				PC: k.StorePC, Class: trace.ClassStore,
+				EA:   page<<pageShift | line,
+				Skip: 1,
+			})
+		}
+		// Data-dependent noise branches inside the kernel body.
+		for _, npc := range k.NoisePCs {
+			g.queue = append(g.queue, trace.Record{
+				PC: npc, Class: trace.ClassCondBranch,
+				Taken: g.rng.Bool(0.5), Target: npc + 8, Skip: 0,
+			})
+		}
+		// The kernel's loop branch: taken while pages remain.
+		g.queue = append(g.queue, trace.Record{
+			PC: k.LoopBranchPC, Class: trace.ClassCondBranch,
+			Taken: i < s.PagesPerCall-1, Target: k.EntryPC + 16, Skip: 1,
+		})
+	}
+	// Return (indirect, as hardware sees it).
+	g.queue = append(g.queue, trace.Record{
+		PC: k.RetPC, Class: trace.ClassUncondIndirect,
+		Taken: true, Target: s.CallPC + 4, Skip: 0,
+	})
+}

@@ -1,0 +1,240 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/chirplab/chirp/internal/trace"
+)
+
+// Workload names one member of the suite and builds its program on
+// demand. Building is cheap; the heavy state is in the Generator.
+type Workload struct {
+	Name     string
+	Category string
+	Seed     uint64
+	build    func(name string, seed uint64) *Program
+}
+
+// Program constructs the workload's program model.
+func (w *Workload) Program() *Program { return w.build(w.Name, w.Seed) }
+
+// Source returns a fresh deterministic trace stream for the workload.
+func (w *Workload) Source() trace.Source { return NewGenerator(w.Program()) }
+
+// Categories lists the suite's workload families, mirroring the
+// paper's description of the CVP-1 mix: "SPEC, database, crypto,
+// scientific, web, 'big data' and other applications".
+var Categories = []string{"spec", "db", "crypto", "sci", "web", "bigdata", "ml", "osmix"}
+
+var builders = map[string]func(name string, seed uint64) *Program{
+	"spec":    buildSpec,
+	"db":      buildDB,
+	"crypto":  buildCrypto,
+	"sci":     buildSci,
+	"web":     buildWeb,
+	"bigdata": buildBigData,
+	"ml":      buildML,
+	"osmix":   buildOSMix,
+}
+
+// SuiteSize is the number of workloads the paper simulates.
+const SuiteSize = 870
+
+// Suite returns the full 870-workload suite, categories interleaved so
+// any prefix is diverse.
+func Suite() []*Workload { return SuiteN(SuiteSize) }
+
+// SuiteN returns the first n workloads of the interleaved suite
+// (n ≤ SuiteSize recommended but not required; the naming scheme
+// extends indefinitely).
+func SuiteN(n int) []*Workload {
+	out := make([]*Workload, 0, n)
+	idx := make(map[string]int, len(Categories))
+	for i := 0; i < n; i++ {
+		cat := Categories[i%len(Categories)]
+		k := idx[cat]
+		idx[cat]++
+		out = append(out, &Workload{
+			Name:     fmt.Sprintf("%s-%03d", cat, k),
+			Category: cat,
+			// Seeds separate categories widely so parameter draws never
+			// correlate across families.
+			Seed:  uint64(k)*2654435761 + hashCategory(cat),
+			build: builders[cat],
+		})
+	}
+	return out
+}
+
+// ByName returns the named workload from the suite, or nil.
+func ByName(name string) *Workload {
+	for _, w := range Suite() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+func hashCategory(cat string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(cat); i++ {
+		h = (h ^ uint64(cat[i])) * 1099511628211
+	}
+	return h
+}
+
+// builder assembles a Program, laying out code and data address space.
+type builder struct {
+	prog         *Program
+	rng          *trace.RNG
+	nextCodePage uint64
+	nextDataPage uint64
+	kernelCount  uint64
+}
+
+func newBuilder(name, category string, seed uint64) *builder {
+	rng := trace.NewRNG(seed ^ 0xabcd1234)
+	return &builder{
+		prog: &Program{
+			Name: name, Category: category, Seed: seed,
+			RunMin: 2 + rng.Intn(2), RunMax: 4 + rng.Intn(5),
+			// Dilute to the paper's absolute MPKI range (average LRU MPKI
+			// of order 1.5); drawn per workload so the S-curve spreads.
+			SkipScale: uint32(3 + rng.Intn(4)),
+		},
+		rng: trace.NewRNG(seed),
+		// Code from 4 MB, data from 4 GB: disjoint page spaces.
+		nextCodePage: 0x400,
+		nextDataPage: 0x100000,
+	}
+}
+
+// kernel lays out a kernel body across codePages pages with nLoads
+// load PCs, nNoise data-dependent branches and an optional store.
+func (b *builder) kernel(codePages, nLoads, nNoise int, hasStore bool) *Kernel {
+	if codePages < 1 {
+		codePages = 1
+	}
+	if nLoads < 1 {
+		nLoads = 1
+	}
+	base := b.nextCodePage << pageShift
+	b.nextCodePage += uint64(codePages)
+	pageOf := func(i int) uint64 { return base + uint64(i%codePages)<<pageShift }
+	// Each kernel's load PCs carry a kernel-specific pattern in PC bits
+	// [3:2] — the instruction-slot bits that distinguish inlined or
+	// unrolled copies in real code. Reuse behaviour therefore correlates
+	// with exactly the bits the paper's ADALINE study singles out
+	// (Figure 3) and that CHiRP's path history records.
+	lowTag := (b.kernelCount % 2) << 2
+	b.kernelCount++
+	// The body's PCs are spread over its pages, so executing the kernel
+	// actually fetches its whole code footprint — multi-page bodies
+	// create real instruction-side TLB pressure (the web category's
+	// front-end story).
+	k := &Kernel{
+		EntryPC:      base,
+		LoopBranchPC: pageOf(codePages-1) + 0x40,
+		RetPC:        pageOf(codePages-1) + 0x80,
+	}
+	for i := 0; i < nLoads; i++ {
+		k.LoadPCs = append(k.LoadPCs, pageOf(i)+0x100+lowTag+uint64(i)*0x48)
+	}
+	if hasStore {
+		k.StorePC = pageOf(codePages/2) + 0x200
+	}
+	for i := 0; i < nNoise; i++ {
+		k.NoisePCs = append(k.NoisePCs, pageOf(i+1)+0x300+uint64(i)*0x1c)
+	}
+	return k
+}
+
+// region allocates pages data pages with a hot working subset.
+func (b *builder) region(pages, hot uint64) *Region {
+	if pages == 0 {
+		pages = 1
+	}
+	if hot > pages {
+		hot = pages
+	}
+	r := &Region{BasePage: b.nextDataPage, Pages: pages, Hot: hot}
+	// Leave a guard gap so regions never blend.
+	b.nextDataPage += pages + 16
+	b.prog.Regions = append(b.prog.Regions, r)
+	return r
+}
+
+// site binds kernel k to region r under behaviour bv. Each site gets
+// its own driver code page so its branch PC is a distinct context
+// marker.
+func (b *builder) site(k *Kernel, r *Region, bv Behavior, pagesPerCall int) *Site {
+	base := b.nextCodePage << pageShift
+	b.nextCodePage++
+	s := &Site{
+		BranchPC:     base + 0x10,
+		CallPC:       base + 0x20,
+		Kernel:       k,
+		Region:       r,
+		Behavior:     bv,
+		PagesPerCall: pagesPerCall,
+		LoadsPerPage: 1,
+		SkipALU:      uint32(2 + b.rng.Intn(6)),
+	}
+	b.prog.Sites = append(b.prog.Sites, s)
+	b.prog.Kernels = appendKernelOnce(b.prog.Kernels, k)
+	return s
+}
+
+func appendKernelOnce(ks []*Kernel, k *Kernel) []*Kernel {
+	for _, e := range ks {
+		if e == k {
+			return ks
+		}
+	}
+	return append(ks, k)
+}
+
+// phases installs weight vectors; each vector must cover every site.
+func (b *builder) phases(callsPerPhase int, weights ...[]uint32) {
+	b.prog.CallsPerPhase = callsPerPhase
+	for _, w := range weights {
+		b.prog.Phases = append(b.prog.Phases, Phase{Weights: w})
+	}
+}
+
+// uniformPhase returns a weight vector of 1s for every current site.
+func (b *builder) uniformPhase() []uint32 {
+	w := make([]uint32, len(b.prog.Sites))
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// rint draws a uniform int in [lo, hi].
+func (b *builder) rint(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + b.rng.Intn(hi-lo+1)
+}
+
+// rpages draws a page count in [lo, hi].
+func (b *builder) rpages(lo, hi int) uint64 { return uint64(b.rint(lo, hi)) }
+
+// drift draws a sliding-window advance for a hot window of w pages:
+// half of the draws are stationary (0), the rest slide by roughly
+// 0.5–2%% of the window per pass. Drifting working sets are what
+// penalise indiscriminate freeze strategies (see Behavior Window).
+func (b *builder) drift(w uint64) uint64 {
+	if b.rng.Bool(0.5) {
+		return 0
+	}
+	lo := int(w/200) + 2
+	hi := int(w / 50)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return uint64(b.rint(lo, hi))
+}

@@ -1,0 +1,229 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/chirplab/chirp/internal/trace"
+)
+
+func TestSuiteSizeAndNames(t *testing.T) {
+	suite := Suite()
+	if len(suite) != SuiteSize {
+		t.Fatalf("suite size = %d, want %d", len(suite), SuiteSize)
+	}
+	seen := map[string]bool{}
+	perCat := map[string]int{}
+	for _, w := range suite {
+		if seen[w.Name] {
+			t.Fatalf("duplicate workload name %s", w.Name)
+		}
+		seen[w.Name] = true
+		perCat[w.Category]++
+	}
+	for _, cat := range Categories {
+		if perCat[cat] < SuiteSize/len(Categories)-1 {
+			t.Errorf("category %s underrepresented: %d workloads", cat, perCat[cat])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w := ByName("spec-000")
+	if w == nil || w.Category != "spec" {
+		t.Fatalf("ByName(spec-000) = %+v", w)
+	}
+	if ByName("nope-999") != nil {
+		t.Error("ByName must return nil for unknown workloads")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	for _, name := range []string{"spec-000", "db-001", "crypto-000", "web-002", "ml-003"} {
+		w := ByName(name)
+		if w == nil {
+			t.Fatalf("workload %s missing", name)
+		}
+		a := trace.Collect(trace.NewLimit(w.Source(), 20000))
+		b := trace.Collect(trace.NewLimit(w.Source(), 20000))
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: record %d differs: %+v vs %+v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestGeneratorResetRestarts(t *testing.T) {
+	w := ByName("osmix-000")
+	src := w.Source()
+	var first trace.Record
+	if !src.Next(&first) {
+		t.Fatal("empty stream")
+	}
+	for i := 0; i < 5000; i++ {
+		var r trace.Record
+		src.Next(&r)
+	}
+	src.Reset()
+	var again trace.Record
+	if !src.Next(&again) || again != first {
+		t.Fatalf("Reset did not restart: %+v vs %+v", again, first)
+	}
+}
+
+func TestRecordsWellFormed(t *testing.T) {
+	for _, name := range []string{"spec-001", "bigdata-000", "sci-001", "web-000"} {
+		w := ByName(name)
+		src := trace.NewLimit(w.Source(), 50000)
+		var rec trace.Record
+		classes := map[trace.Class]int{}
+		for src.Next(&rec) {
+			classes[rec.Class]++
+			switch {
+			case rec.Class.IsMemory():
+				if rec.EA == 0 {
+					t.Fatalf("%s: memory record with zero EA", name)
+				}
+			case rec.Class.IsBranch():
+				if rec.Target == 0 {
+					t.Fatalf("%s: branch record with zero target", name)
+				}
+			}
+			if rec.PC == 0 {
+				t.Fatalf("%s: record with zero PC", name)
+			}
+		}
+		// Every workload must exercise loads, conditional branches and
+		// calls (class diversity drives the predictors).
+		for _, c := range []trace.Class{trace.ClassLoad, trace.ClassCondBranch, trace.ClassUncondIndirect} {
+			if classes[c] == 0 {
+				t.Errorf("%s: no %v records", name, c)
+			}
+		}
+	}
+}
+
+func TestRegionsDoNotOverlap(t *testing.T) {
+	for _, w := range SuiteN(32) {
+		prog := w.Program()
+		type span struct{ lo, hi uint64 }
+		var spans []span
+		for _, r := range prog.Regions {
+			spans = append(spans, span{r.BasePage, r.BasePage + r.Pages})
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+					t.Fatalf("%s: regions %d and %d overlap", w.Name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPhaseWeightsCoverSites(t *testing.T) {
+	for _, w := range SuiteN(64) {
+		prog := w.Program()
+		if len(prog.Phases) == 0 {
+			t.Fatalf("%s: no phases", w.Name)
+		}
+		for pi, ph := range prog.Phases {
+			if len(ph.Weights) != len(prog.Sites) {
+				t.Fatalf("%s: phase %d has %d weights for %d sites", w.Name, pi, len(ph.Weights), len(prog.Sites))
+			}
+			total := uint32(0)
+			for _, wt := range ph.Weights {
+				total += wt
+			}
+			if total == 0 {
+				t.Fatalf("%s: phase %d all-zero weights", w.Name, pi)
+			}
+		}
+	}
+}
+
+func TestProfilesPresent(t *testing.T) {
+	counts := map[string]int{}
+	for _, w := range SuiteN(200) {
+		counts[w.Program().Profile]++
+	}
+	for _, p := range []string{"quiet", "pressure", "migrate"} {
+		if counts[p] == 0 {
+			t.Errorf("no %s-profile workloads in the first 200", p)
+		}
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	for b, want := range map[Behavior]string{
+		Stream: "stream", Loop: "loop", Chase: "chase",
+		Zipf: "zipf", Gups: "gups", Batch: "batch",
+	} {
+		if got := b.String(); got != want {
+			t.Errorf("Behavior(%d).String() = %q, want %q", b, got, want)
+		}
+	}
+	if got := Behavior(99).String(); got != "behavior(99)" {
+		t.Errorf("unknown behaviour string = %q", got)
+	}
+}
+
+func TestBatchBehaviorRevisitsChunks(t *testing.T) {
+	r := &Region{BasePage: 1000, Pages: 100}
+	s := &Site{Region: r, Behavior: Batch, ChunkPages: 4, Passes: 2}
+	g := &Generator{prog: &Program{Seed: 1, Regions: []*Region{r},
+		Sites:  []*Site{s},
+		Phases: []Phase{{Weights: []uint32{1}}}}}
+	g.Reset()
+	var pages []uint64
+	for i := 0; i < 16; i++ {
+		pages = append(pages, g.selectPage(s))
+	}
+	// Two passes over chunk [1000..1003], then the next chunk.
+	want := []uint64{1000, 1001, 1002, 1003, 1000, 1001, 1002, 1003,
+		1004, 1005, 1006, 1007, 1004, 1005, 1006, 1007}
+	for i := range want {
+		if pages[i] != want[i] {
+			t.Fatalf("batch page %d = %d, want %d (%v)", i, pages[i], want[i], pages)
+		}
+	}
+}
+
+func TestLoopBehaviorCycles(t *testing.T) {
+	r := &Region{BasePage: 500, Pages: 10, Hot: 3}
+	s := &Site{Region: r, Behavior: Loop}
+	g := &Generator{prog: &Program{Seed: 1, Regions: []*Region{r},
+		Sites:  []*Site{s},
+		Phases: []Phase{{Weights: []uint32{1}}}}}
+	g.Reset()
+	for i := 0; i < 9; i++ {
+		if got, want := g.selectPage(s), uint64(500+i%3); got != want {
+			t.Fatalf("loop page %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestInstructionDilutionScale(t *testing.T) {
+	// SkipScale must not change the access stream, only Skip counts.
+	w := ByName("spec-000")
+	p1 := w.Program()
+	p2 := w.Program()
+	p2.SkipScale = p1.SkipScale * 2
+	a := trace.Collect(trace.NewLimit(NewGenerator(p1), 50000))
+	b := trace.Collect(trace.NewLimit(NewGenerator(p2), 50000))
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		t.Fatal("empty traces")
+	}
+	for i := 0; i < n; i++ {
+		if a[i].PC != b[i].PC || a[i].EA != b[i].EA || a[i].Class != b[i].Class {
+			t.Fatalf("dilution changed the access stream at record %d", i)
+		}
+	}
+}
