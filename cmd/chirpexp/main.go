@@ -12,12 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
+	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/experiments"
 )
 
@@ -27,19 +31,57 @@ type runner struct {
 	run  func(experiments.Options) error
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	exp := flag.String("exp", "fig7", "experiment id (or comma list, or 'all')")
 	n := flag.Int("n", 0, "suite prefix size (0 = full 870-workload suite)")
 	instr := flag.Uint64("instr", 2_000_000, "instructions per trace")
 	penalty := flag.Uint64("penalty", 150, "L2 TLB miss penalty in cycles for timing experiments")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file: completed (workload, policy) runs are restored from it and new ones appended, so a killed sweep resumes where it stopped")
+	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 10s; 0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM stop dispatching new simulations, drain the
+	// in-flight ones and leave the checkpoint resumable.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *cpuprofile != "" {
+		stopProf, err := engine.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpexp: %v\n", err)
+			return 1
+		}
+		defer stopProf()
+	}
 
 	o := experiments.Options{
 		Workloads:    *n,
 		Instructions: *instr,
 		WalkPenalty:  *penalty,
 		Workers:      *workers,
+		Ctx:          ctx,
+	}
+	if *progress > 0 {
+		o.Sink = engine.NewReporter(os.Stderr, *progress)
+	}
+	if *checkpoint != "" {
+		// The meta fingerprint refuses a checkpoint recorded under other
+		// run parameters — resumed rows must be exchangeable with fresh
+		// ones. The experiment list is deliberately excluded: scopes
+		// already namespace per-experiment keys, so one file covers any
+		// subset of `-exp all`.
+		meta := fmt.Sprintf("chirpexp n=%d instr=%d penalty=%d", *n, *instr, *penalty)
+		ck, err := engine.Open(*checkpoint, meta)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpexp: %v\n", err)
+			return 1
+		}
+		defer ck.Close()
+		o.Checkpoint = ck
 	}
 
 	out := os.Stdout
@@ -185,7 +227,7 @@ func main() {
 	for name := range want {
 		if !known[name] {
 			fmt.Fprintf(os.Stderr, "chirpexp: unknown experiment %q\n", name)
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -197,8 +239,9 @@ func main() {
 		fmt.Fprintf(out, "== %s: %s ==\n", r.name, r.desc)
 		if err := r.run(o); err != nil {
 			fmt.Fprintf(os.Stderr, "chirpexp: %s: %v\n", r.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(out, "-- %s done in %v --\n\n", r.name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

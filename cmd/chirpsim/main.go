@@ -9,12 +9,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/pipeline"
 	"github.com/chirplab/chirp/internal/policy"
 	"github.com/chirplab/chirp/internal/sim"
@@ -24,7 +28,9 @@ import (
 	"github.com/chirplab/chirp/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	workload := flag.String("workload", "", "suite workload name (e.g. db-000)")
 	traceFile := flag.String("trace", "", "binary trace file (alternative to -workload)")
 	policies := flag.String("policies", "lru,random,srrip,ship,ghrp,chirp", "comma-separated policy list")
@@ -33,6 +39,10 @@ func main() {
 	penalty := flag.Uint64("penalty", 150, "L2 TLB miss penalty in cycles (timing mode)")
 	list := flag.Bool("list", false, "list policies and suite workloads, then exit")
 	describe := flag.Bool("describe", false, "print the workload's program model as JSON and exit")
+	workers := flag.Int("workers", 0, "parallel policy runs (0 = GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; completed policies are restored, not re-run")
+	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
 	if *describe {
@@ -48,7 +58,7 @@ func main() {
 		if err := enc.Encode(workloads.Describe(w.Program())); err != nil {
 			fatal("%v", err)
 		}
-		return
+		return 0
 	}
 
 	if *list {
@@ -56,85 +66,151 @@ func main() {
 		fmt.Println("workloads: the 870-entry suite, named <category>-<index>:")
 		fmt.Println("  categories:", strings.Join(workloads.Categories, " "))
 		fmt.Println("  e.g. spec-000 … spec-108, db-000 …, crypto-000 …")
-		return
+		return 0
 	}
 
-	source := func() trace.Source {
-		switch {
-		case *workload != "":
-			w := workloads.ByName(*workload)
-			if w == nil {
-				fatal("unknown workload %q (try -list)", *workload)
-			}
-			return trace.NewLimit(w.Source(), *instr)
-		case *traceFile != "":
-			fs, err := trace.OpenFile(*traceFile)
-			if err != nil {
-				fatal("%v", err)
-			}
-			return trace.NewLimit(fs, *instr)
-		default:
-			fatal("one of -workload or -trace is required (see -list)")
-			return nil
-		}
-	}
-
+	// Validate the flag set before any resources (profile, checkpoint)
+	// are open: fatal() bypasses their deferred teardown.
 	names := strings.Split(*policies, ",")
-	var rows [][]string
-	var baseMPKI, baseIPC float64
 	for i, name := range names {
-		name = strings.TrimSpace(name)
-		p, err := sim.NewPolicy(name)
-		if err != nil {
+		names[i] = strings.TrimSpace(name)
+		if _, err := sim.NewPolicy(names[i]); err != nil {
 			fatal("%v", err)
 		}
+	}
+	subject := *workload
+	switch {
+	case *workload != "":
+		if workloads.ByName(*workload) == nil {
+			fatal("unknown workload %q (try -list)", *workload)
+		}
+	case *traceFile != "":
+		subject = *traceFile
+	default:
+		fatal("one of -workload or -trace is required (see -list)")
+	}
+	openSource := func() (trace.Source, error) {
+		if *workload != "" {
+			return trace.NewLimit(workloads.ByName(*workload).Source(), *instr), nil
+		}
+		fs, err := trace.OpenFile(*traceFile)
+		if err != nil {
+			return nil, err
+		}
+		return trace.NewLimit(fs, *instr), nil
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *cpuprofile != "" {
+		stopProf, err := engine.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
+			return 1
+		}
+		defer stopProf()
+	}
+	cfg := engine.Config{Workers: *workers}
+	if *progress > 0 {
+		cfg.Sink = engine.NewReporter(os.Stderr, *progress)
+	}
+	if *checkpoint != "" {
+		meta := fmt.Sprintf("chirpsim workload=%s trace=%s instr=%d timing=%v penalty=%d",
+			*workload, *traceFile, *instr, *timing, *penalty)
+		ck, err := engine.Open(*checkpoint, meta)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
+			return 1
+		}
+		defer ck.Close()
+		cfg.Checkpoint = ck
+	}
+
+	// One engine job per policy; results stay in -policies order, so
+	// the first policy remains the comparison baseline.
+	jobs := make([]engine.Job[policyRow], 0, len(names))
+	for _, name := range names {
+		name := name
+		jobs = append(jobs, engine.Job[policyRow]{
+			Key: engine.Key{Workload: subject, Policy: name},
+			Run: func(context.Context) (policyRow, error) {
+				p, err := sim.NewPolicy(name)
+				if err != nil {
+					return policyRow{}, err
+				}
+				src, err := openSource()
+				if err != nil {
+					return policyRow{}, err
+				}
+				if *timing {
+					m, err := pipeline.New(pipeline.DefaultConfig(*instr, *penalty), p,
+						func() tlb.Policy { return policy.NewLRU() })
+					if err != nil {
+						return policyRow{}, err
+					}
+					res, err := m.Run(src)
+					if err != nil {
+						return policyRow{}, err
+					}
+					return policyRow{MPKI: res.MPKI, IPC: res.IPC, BranchAccuracy: res.BranchAccuracy}, nil
+				}
+				res, err := sim.RunTLBOnly(src, p, sim.DefaultTLBOnlyConfig(*instr))
+				if err != nil {
+					return policyRow{}, err
+				}
+				return policyRow{MPKI: res.MPKI, Efficiency: res.Efficiency, TableRate: res.TableAccessRate}, nil
+			},
+		})
+	}
+	results, err := engine.Run(ctx, jobs, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
+		return 1
+	}
+
+	var rows [][]string
+	base := results[0]
+	for i, res := range results {
 		if *timing {
-			m, err := pipeline.New(pipeline.DefaultConfig(*instr, *penalty), p,
-				func() tlb.Policy { return policy.NewLRU() })
-			if err != nil {
-				fatal("%v", err)
-			}
-			res, err := m.Run(source())
-			if err != nil {
-				fatal("%s: %v", name, err)
-			}
-			if i == 0 {
-				baseMPKI, baseIPC = res.MPKI, res.IPC
-			}
 			rows = append(rows, []string{
-				name,
+				names[i],
 				fmt.Sprintf("%.4f", res.MPKI),
-				fmt.Sprintf("%+.2f%%", stats.Reduction(baseMPKI, res.MPKI)),
+				fmt.Sprintf("%+.2f%%", stats.Reduction(base.MPKI, res.MPKI)),
 				fmt.Sprintf("%.4f", res.IPC),
-				fmt.Sprintf("%+.2f%%", (res.IPC/baseIPC-1)*100),
+				fmt.Sprintf("%+.2f%%", (res.IPC/base.IPC-1)*100),
 				fmt.Sprintf("%.3f", res.BranchAccuracy),
 			})
 		} else {
-			res, err := sim.RunTLBOnly(source(), p, sim.DefaultTLBOnlyConfig(*instr))
-			if err != nil {
-				fatal("%s: %v", name, err)
-			}
-			if i == 0 {
-				baseMPKI = res.MPKI
-			}
 			rows = append(rows, []string{
-				name,
+				names[i],
 				fmt.Sprintf("%.4f", res.MPKI),
-				fmt.Sprintf("%+.2f%%", stats.Reduction(baseMPKI, res.MPKI)),
+				fmt.Sprintf("%+.2f%%", stats.Reduction(base.MPKI, res.MPKI)),
 				fmt.Sprintf("%.3f", res.Efficiency),
-				fmt.Sprintf("%.3f", res.TableAccessRate),
+				fmt.Sprintf("%.3f", res.TableRate),
 			})
 		}
 	}
-	var err error
 	if *timing {
 		err = stats.Table(os.Stdout, []string{"policy", "MPKI", "vs first", "IPC", "speedup", "branch acc"}, rows)
 	} else {
 		err = stats.Table(os.Stdout, []string{"policy", "MPKI", "vs first", "efficiency", "table rate"}, rows)
 	}
 	if err != nil {
-		fatal("%v", err)
+		fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
+		return 1
 	}
+	return 0
+}
+
+// policyRow is one rendered measurement; exported fields so it
+// survives a JSON checkpoint round-trip.
+type policyRow struct {
+	MPKI           float64
+	IPC            float64
+	Efficiency     float64
+	TableRate      float64
+	BranchAccuracy float64
 }
 
 func fatal(format string, args ...any) {

@@ -13,38 +13,82 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"github.com/chirplab/chirp/internal/core"
+	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/sim"
 	"github.com/chirplab/chirp/internal/stats"
 	"github.com/chirplab/chirp/internal/tlb"
 	"github.com/chirplab/chirp/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	sweep := flag.String("sweep", "table", "table | history | branchhist | threshold | ways | entries | filters")
 	n := flag.Int("n", 96, "suite prefix size")
 	instr := flag.Uint64("instr", 1_000_000, "instructions per trace")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; a killed sweep resumes where it stopped")
+	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *cpuprofile != "" {
+		stopProf, err := engine.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
+			return 1
+		}
+		defer stopProf()
+	}
+	opts := sim.SuiteOptions{Workers: *workers}
+	if *progress > 0 {
+		opts.Sink = engine.NewReporter(os.Stderr, *progress)
+	}
+	if *checkpoint != "" {
+		meta := fmt.Sprintf("chirpsweep sweep=%s n=%d instr=%d", *sweep, *n, *instr)
+		ck, err := engine.Open(*checkpoint, meta)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
+			return 1
+		}
+		defer ck.Close()
+		opts.Checkpoint = ck
+	}
 
 	ws := workloads.SuiteN(*n)
 	cfg := sim.DefaultTLBOnlyConfig(*instr)
 
 	// measure returns the average MPKI for a policy factory, with an
-	// optional TLB geometry override.
-	measure := func(f sim.PolicyFactory, geom *tlb.Config) float64 {
+	// optional TLB geometry override. Every sweep point shares the
+	// policy name "x", so the scope is what keeps checkpoint keys of
+	// different configurations apart.
+	fail := false
+	measure := func(scope string, f sim.PolicyFactory, geom *tlb.Config) float64 {
+		if fail {
+			return 0
+		}
 		c := cfg
 		if geom != nil {
 			c.Hierarchy.L2 = *geom
 		}
-		rs, err := sim.RunSuiteTLBOnly(ws, []sim.NamedFactory{{Name: "x", New: f}}, c, *workers)
+		o := opts
+		o.Scope = scope
+		rs, err := sim.RunSuiteTLBOnlyCtx(ctx, ws, []sim.NamedFactory{{Name: "x", New: f}}, c, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
-			os.Exit(1)
+			fail = true
+			return 0
 		}
 		sum := 0.0
 		for _, r := range rs {
@@ -62,54 +106,54 @@ func main() {
 	var rows [][]string
 	switch *sweep {
 	case "table":
-		base := measure(lruF[0].New, nil)
+		base := measure("lru", lruF[0].New, nil)
 		for _, entries := range []int{512, 1024, 2048, 4096, 8192, 16384, 32768} {
-			m := measure(chirpWith(func(c *core.Config) { c.TableEntries = entries }), nil)
+			m := measure(fmt.Sprintf("table/%d", entries), chirpWith(func(c *core.Config) { c.TableEntries = entries }), nil)
 			rows = append(rows, []string{fmt.Sprintf("%d counters (%dB)", entries, entries/4),
 				fmt.Sprintf("%.3f", m), fmt.Sprintf("%+.2f%%", stats.Reduction(base, m))})
 		}
 	case "history":
-		base := measure(lruF[0].New, nil)
+		base := measure("lru", lruF[0].New, nil)
 		for _, l := range []int{4, 8, 12, 16, 24, 32, 40} {
-			m := measure(chirpWith(func(c *core.Config) { c.History.PathLength = l }), nil)
+			m := measure(fmt.Sprintf("history/%d", l), chirpWith(func(c *core.Config) { c.History.PathLength = l }), nil)
 			rows = append(rows, []string{fmt.Sprintf("path length %d", l),
 				fmt.Sprintf("%.3f", m), fmt.Sprintf("%+.2f%%", stats.Reduction(base, m))})
 		}
 	case "branchhist":
-		base := measure(lruF[0].New, nil)
+		base := measure("lru", lruF[0].New, nil)
 		for _, l := range []int{2, 4, 8, 16, 32} {
-			m := measure(chirpWith(func(c *core.Config) { c.History.BranchLength = l }), nil)
+			m := measure(fmt.Sprintf("branchhist/%d", l), chirpWith(func(c *core.Config) { c.History.BranchLength = l }), nil)
 			rows = append(rows, []string{fmt.Sprintf("branch length %d", l),
 				fmt.Sprintf("%.3f", m), fmt.Sprintf("%+.2f%%", stats.Reduction(base, m))})
 		}
 	case "threshold":
-		base := measure(lruF[0].New, nil)
+		base := measure("lru", lruF[0].New, nil)
 		for _, tc := range []struct {
 			bits uint
 			th   uint8
 		}{{2, 0}, {2, 1}, {2, 2}, {3, 3}, {3, 5}} {
-			m := measure(chirpWith(func(c *core.Config) { c.CounterBits = tc.bits; c.DeadThreshold = tc.th }), nil)
+			m := measure(fmt.Sprintf("threshold/%d-%d", tc.bits, tc.th), chirpWith(func(c *core.Config) { c.CounterBits = tc.bits; c.DeadThreshold = tc.th }), nil)
 			rows = append(rows, []string{fmt.Sprintf("%d-bit counters, threshold %d", tc.bits, tc.th),
 				fmt.Sprintf("%.3f", m), fmt.Sprintf("%+.2f%%", stats.Reduction(base, m))})
 		}
 	case "ways":
 		for _, ways := range []int{2, 4, 8, 16} {
 			geom := tlb.Config{Name: "L2 TLB", Entries: 1024, Ways: ways, PageShift: 12}
-			base := measure(lruF[0].New, &geom)
-			m := measure(sim.CHiRPFactory(core.DefaultConfig()), &geom)
+			base := measure(fmt.Sprintf("ways/%d/lru", ways), lruF[0].New, &geom)
+			m := measure(fmt.Sprintf("ways/%d/chirp", ways), sim.CHiRPFactory(core.DefaultConfig()), &geom)
 			rows = append(rows, []string{fmt.Sprintf("%d-way", ways),
 				fmt.Sprintf("%.3f", m), fmt.Sprintf("%+.2f%%", stats.Reduction(base, m))})
 		}
 	case "entries":
 		for _, entries := range []int{256, 512, 1024, 2048, 4096} {
 			geom := tlb.Config{Name: "L2 TLB", Entries: entries, Ways: 8, PageShift: 12}
-			base := measure(lruF[0].New, &geom)
-			m := measure(sim.CHiRPFactory(core.DefaultConfig()), &geom)
+			base := measure(fmt.Sprintf("entries/%d/lru", entries), lruF[0].New, &geom)
+			m := measure(fmt.Sprintf("entries/%d/chirp", entries), sim.CHiRPFactory(core.DefaultConfig()), &geom)
 			rows = append(rows, []string{fmt.Sprintf("%d entries", entries),
 				fmt.Sprintf("%.3f", m), fmt.Sprintf("%+.2f%%", stats.Reduction(base, m))})
 		}
 	case "filters":
-		base := measure(lruF[0].New, nil)
+		base := measure("lru", lruF[0].New, nil)
 		for _, fc := range []struct {
 			label               string
 			selective, firstHit bool
@@ -119,7 +163,7 @@ func main() {
 			{"no first-hit-only", true, false},
 			{"both filters off", false, false},
 		} {
-			m := measure(chirpWith(func(c *core.Config) {
+			m := measure(fmt.Sprintf("filters/%v-%v", fc.selective, fc.firstHit), chirpWith(func(c *core.Config) {
 				c.SelectiveHitUpdate = fc.selective
 				c.FirstHitOnly = fc.firstHit
 			}), nil)
@@ -128,10 +172,14 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "chirpsweep: unknown sweep %q\n", *sweep)
-		os.Exit(2)
+		return 2
+	}
+	if fail {
+		return 1
 	}
 	if err := stats.Table(os.Stdout, []string{"configuration", "mean MPKI", "vs LRU"}, rows); err != nil {
 		fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

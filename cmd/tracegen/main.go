@@ -7,56 +7,128 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
+	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/trace"
 	"github.com/chirplab/chirp/internal/workloads"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	workload := flag.String("workload", "", "suite workload to materialise")
 	out := flag.String("o", "", "output file (default <workload>.chtr)")
 	all := flag.Bool("all", false, "materialise a suite prefix instead of one workload")
 	n := flag.Int("n", 8, "suite prefix size with -all")
 	dir := flag.String("dir", ".", "output directory with -all")
 	instr := flag.Uint64("instr", 1_000_000, "instructions per trace")
+	workers := flag.Int("workers", 0, "parallel trace writers with -all (0 = GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file with -all; already-written traces are skipped on resume")
+	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
-	write := func(w *workloads.Workload, path string) {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *cpuprofile != "" {
+		stopProf, err := engine.StartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			return 1
+		}
+		defer stopProf()
+	}
+
+	write := func(w *workloads.Workload, path string) (traceSummary, error) {
 		records, instructions, err := trace.WriteFile(path, trace.NewLimit(w.Source(), *instr))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %s: %v\n", w.Name, err)
-			os.Exit(1)
+			return traceSummary{}, fmt.Errorf("%s: %w", w.Name, err)
 		}
-		fi, _ := os.Stat(path)
-		fmt.Printf("%s: %d records, %d instructions, %d bytes\n", path, records, instructions, fi.Size())
+		fi, err := os.Stat(path)
+		if err != nil {
+			return traceSummary{}, err
+		}
+		return traceSummary{Path: path, Records: records, Instructions: instructions, Bytes: fi.Size()}, nil
 	}
 
 	switch {
 	case *all:
 		if err := os.MkdirAll(*dir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		for _, w := range workloads.SuiteN(*n) {
-			write(w, filepath.Join(*dir, w.Name+".chtr"))
+		cfg := engine.Config{Workers: *workers}
+		if *progress > 0 {
+			cfg.Sink = engine.NewReporter(os.Stderr, *progress)
+		}
+		if *checkpoint != "" {
+			// A checkpointed row stands in for the file it describes:
+			// resume trusts that a recorded trace is already on disk and
+			// skips regenerating it.
+			meta := fmt.Sprintf("tracegen n=%d instr=%d dir=%s", *n, *instr, *dir)
+			ck, err := engine.Open(*checkpoint, meta)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+				return 1
+			}
+			defer ck.Close()
+			cfg.Checkpoint = ck
+		}
+		ws := workloads.SuiteN(*n)
+		jobs := make([]engine.Job[traceSummary], 0, len(ws))
+		for _, w := range ws {
+			w := w
+			jobs = append(jobs, engine.Job[traceSummary]{
+				Key: engine.Key{Workload: w.Name, Policy: "tracegen"},
+				Run: func(context.Context) (traceSummary, error) {
+					return write(w, filepath.Join(*dir, w.Name+".chtr"))
+				},
+			})
+		}
+		results, err := engine.Run(ctx, jobs, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			return 1
+		}
+		for _, s := range results {
+			fmt.Printf("%s: %d records, %d instructions, %d bytes\n", s.Path, s.Records, s.Instructions, s.Bytes)
 		}
 	case *workload != "":
 		w := workloads.ByName(*workload)
 		if w == nil {
 			fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *workload)
-			os.Exit(1)
+			return 1
 		}
 		path := *out
 		if path == "" {
 			path = w.Name + ".chtr"
 		}
-		write(w, path)
+		s, err := write(w, path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s: %d records, %d instructions, %d bytes\n", s.Path, s.Records, s.Instructions, s.Bytes)
 	default:
 		fmt.Fprintln(os.Stderr, "tracegen: -workload or -all is required")
-		os.Exit(2)
+		return 2
 	}
+	return 0
+}
+
+// traceSummary records one materialised trace; exported fields so it
+// survives a JSON checkpoint round-trip.
+type traceSummary struct {
+	Path         string
+	Records      uint64
+	Instructions uint64
+	Bytes        int64
 }

@@ -231,7 +231,18 @@ func (p *CHiRP) train(sig uint16, dead bool) {
 // the pre-update histories (Figure 5 computes sign before
 // UpdatePathHist runs), update the path history, and latch the
 // selective-hit-update same-set condition.
+//
+// Prefetch fills (a.Prefetch, per the tlb.Policy contract) only
+// refresh the signature the following OnInsert will tag the entry
+// with: a prefetch is not part of the committed access stream, so it
+// must neither push the path history (the triggering PC already did
+// when its demand access was observed) nor disturb the same-set latch
+// that filters consecutive demand hits.
 func (p *CHiRP) OnAccess(a *tlb.Access) {
+	if a.Prefetch {
+		p.curSig = p.Signature(a.PC)
+		return
+	}
 	p.accesses++
 	p.curSig = p.Signature(a.PC)
 	p.sameSet = p.haveSet && a.Set == p.lastSet

@@ -1,0 +1,215 @@
+// Package engine runs batches of independent simulation jobs — one
+// per (workload, policy) pair — across a bounded worker pool with the
+// hardening a multi-hour suite sweep needs and the bare fan-out it
+// replaces lacked:
+//
+//   - context-based cancellation: the first failure (or an external
+//     cancel) stops dispatching new jobs; in-flight jobs drain;
+//   - panic safety: a panic inside a job is recovered and converted
+//     into an error carrying the job's identity and stack, instead of
+//     tearing down the process and every completed result with it;
+//   - multi-error aggregation: every failure that occurred is
+//     reported, wrapped in a *JobError naming its (workload, policy),
+//     not just whichever error happened to land first;
+//   - checkpointing: completed results append to a JSONL checkpoint
+//     file, so a killed run resumes exactly where it stopped (see
+//     Checkpoint);
+//   - telemetry: a pluggable Sink observes job starts/completions;
+//     Counters tallies them for tests and Reporter renders periodic
+//     one-line progress reports with an ETA.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Key identifies one job inside a run — and inside a checkpoint file,
+// so it must be stable across process restarts. Scope namespaces
+// multiple engine invocations sharing one checkpoint (e.g. the stages
+// of a sweep that reuse policy names under different configurations).
+type Key struct {
+	Scope    string `json:"scope,omitempty"`
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+}
+
+// String renders the key for error messages and progress lines.
+func (k Key) String() string {
+	if k.Scope == "" {
+		return k.Workload + "/" + k.Policy
+	}
+	return k.Scope + ":" + k.Workload + "/" + k.Policy
+}
+
+// Job couples a key with the work that produces its result.
+type Job[T any] struct {
+	Key Key
+	Run func(ctx context.Context) (T, error)
+}
+
+// Config parameterises one engine run.
+type Config struct {
+	// Workers bounds parallelism (<= 0 means GOMAXPROCS).
+	Workers int
+	// Sink observes progress; nil means no telemetry.
+	Sink Sink
+	// Checkpoint, when non-nil, is consulted before dispatch (jobs
+	// whose key it already holds are restored, not re-run) and
+	// appended to after every completed job.
+	Checkpoint *Checkpoint
+}
+
+// JobError attributes one job failure to its (workload, policy) key.
+type JobError struct {
+	Key Key
+	Err error
+
+	index int // dispatch position, for deterministic aggregation order
+}
+
+// Error implements error.
+func (e *JobError) Error() string { return fmt.Sprintf("job %s: %v", e.Key, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// PanicError is the cause of a JobError whose job panicked.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Run executes jobs across the worker pool and returns their results
+// in job order. Jobs already present in cfg.Checkpoint are restored
+// without running. On failure the returned error aggregates one
+// *JobError per failed job (extract them with errors.As, or unwrap
+// the slice via errors.Join semantics); results of jobs that did
+// complete are still filled in, so callers holding a checkpoint lose
+// nothing.
+func Run[T any](ctx context.Context, jobs []Job[T], cfg Config) ([]T, error) {
+	results := make([]T, len(jobs))
+
+	// Restore checkpointed jobs and collect the rest for dispatch.
+	pending := make([]int, 0, len(jobs))
+	for i, j := range jobs {
+		if cfg.Checkpoint != nil {
+			ok, err := cfg.Checkpoint.Get(j.Key, &results[i])
+			if err != nil {
+				return results, fmt.Errorf("engine: restoring %s: %w", j.Key, err)
+			}
+			if ok {
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	if cfg.Sink != nil {
+		cfg.Sink.RunStart(len(jobs), len(jobs)-len(pending))
+		defer cfg.Sink.RunEnd()
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu   sync.Mutex
+		errs []*JobError
+	)
+	fail := func(i int, key Key, err error) {
+		mu.Lock()
+		errs = append(errs, &JobError{Key: key, Err: err, index: i})
+		mu.Unlock()
+		cancel() // first failure stops dispatch; in-flight jobs drain
+	}
+	runOne := func(i int) {
+		j := jobs[i]
+		start := time.Now()
+		res, err := protect(runCtx, j)
+		if err == nil {
+			results[i] = res
+			if cfg.Checkpoint != nil {
+				if cerr := cfg.Checkpoint.Put(j.Key, res); cerr != nil {
+					err = fmt.Errorf("checkpointing result: %w", cerr)
+				}
+			}
+		}
+		if err != nil {
+			fail(i, j.Key, err)
+		}
+		if cfg.Sink != nil {
+			cfg.Sink.JobDone(j.Key, time.Since(start), err)
+		}
+	}
+
+	// Dispatch. The feeding select observes cancellation, so after the
+	// first failure no further job starts.
+	dispatch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range dispatch {
+				runOne(i)
+			}
+		}()
+	}
+feed:
+	for _, i := range pending {
+		if runCtx.Err() != nil {
+			break // cancellation wins over a simultaneously-ready send
+		}
+		select {
+		case dispatch <- i:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(dispatch)
+	wg.Wait()
+
+	if len(errs) == 0 && ctx.Err() == nil {
+		return results, nil
+	}
+	sort.Slice(errs, func(a, b int) bool { return errs[a].index < errs[b].index })
+	joined := make([]error, 0, len(errs)+1)
+	for _, e := range errs {
+		joined = append(joined, e)
+	}
+	if err := ctx.Err(); err != nil {
+		// External cancellation: surface it alongside any job errors.
+		joined = append(joined, err)
+	}
+	return results, errors.Join(joined...)
+}
+
+// protect runs one job, converting a panic into an error that keeps
+// the job's stack.
+func protect[T any](ctx context.Context, j Job[T]) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return j.Run(ctx)
+}

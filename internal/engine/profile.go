@@ -1,0 +1,25 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns
+// the function that stops profiling and closes the file. It backs the
+// -cpuprofile flag the cmd tools share.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}

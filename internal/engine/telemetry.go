@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sink observes engine progress. Implementations must be safe for
+// concurrent use: JobDone is called from every worker goroutine.
+type Sink interface {
+	// RunStart announces the job population: total jobs, of which
+	// resumed were restored from a checkpoint without running.
+	RunStart(total, resumed int)
+	// JobDone reports one finished job; err is non-nil on failure
+	// (including recovered panics).
+	JobDone(key Key, elapsed time.Duration, err error)
+	// RunEnd is called after the last JobDone of the run.
+	RunEnd()
+}
+
+// Counters is a Sink that tallies run progress atomically — the
+// engine's observable state for tests and for reporters built on top.
+type Counters struct {
+	Total   atomic.Int64 // jobs in the run, including resumed
+	Resumed atomic.Int64 // restored from checkpoint, not executed
+	Done    atomic.Int64 // executed successfully
+	Failed  atomic.Int64 // executed and failed (error or panic)
+	// WallNanos accumulates per-job wall time over executed jobs.
+	WallNanos atomic.Int64
+}
+
+// RunStart implements Sink.
+func (c *Counters) RunStart(total, resumed int) {
+	c.Total.Store(int64(total))
+	c.Resumed.Store(int64(resumed))
+}
+
+// JobDone implements Sink.
+func (c *Counters) JobDone(_ Key, elapsed time.Duration, err error) {
+	c.WallNanos.Add(int64(elapsed))
+	if err != nil {
+		c.Failed.Add(1)
+		return
+	}
+	c.Done.Add(1)
+}
+
+// RunEnd implements Sink.
+func (*Counters) RunEnd() {}
+
+// Completed returns executed + resumed jobs (failures included): the
+// numerator of a progress display.
+func (c *Counters) Completed() int64 {
+	return c.Done.Load() + c.Failed.Load() + c.Resumed.Load()
+}
+
+// Reporter is a Sink that prints a one-line progress report to an
+// io.Writer every interval, plus a final summary line: jobs done/total,
+// failures, resumed count, mean per-job wall time and an ETA derived
+// from the observed completion rate.
+type Reporter struct {
+	Counters
+	w        io.Writer
+	interval time.Duration
+
+	mu      sync.Mutex
+	start   time.Time
+	stop    chan struct{}
+	stopped sync.WaitGroup
+}
+
+// NewReporter builds a Reporter writing to w every interval (5s when
+// interval <= 0).
+func NewReporter(w io.Writer, interval time.Duration) *Reporter {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	return &Reporter{w: w, interval: interval}
+}
+
+// RunStart implements Sink: it starts the periodic report loop.
+func (r *Reporter) RunStart(total, resumed int) {
+	r.Counters.RunStart(total, resumed)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.start = time.Now()
+	stop := make(chan struct{}) // captured, not re-read: RunEnd nils the field
+	r.stop = stop
+	r.stopped.Add(1)
+	go func() {
+		defer r.stopped.Done()
+		t := time.NewTicker(r.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(r.w, r.line())
+			case <-stop:
+				return
+			}
+		}
+	}()
+	if resumed > 0 {
+		fmt.Fprintf(r.w, "engine: resumed %d/%d jobs from checkpoint\n", resumed, total)
+	}
+}
+
+// RunEnd implements Sink: it stops the loop and prints the summary.
+func (r *Reporter) RunEnd() {
+	r.mu.Lock()
+	if r.stop != nil {
+		close(r.stop)
+		r.stop = nil
+	}
+	r.mu.Unlock()
+	r.stopped.Wait()
+	fmt.Fprintf(r.w, "%s in %v\n", r.line(), time.Since(r.start).Round(time.Millisecond))
+}
+
+// line renders one progress report.
+func (r *Reporter) line() string {
+	total := r.Total.Load()
+	completed := r.Completed()
+	failed := r.Failed.Load()
+	resumed := r.Resumed.Load()
+	executed := r.Done.Load() + failed
+
+	s := fmt.Sprintf("engine: %d/%d jobs", completed, total)
+	if failed > 0 {
+		s += fmt.Sprintf(", %d failed", failed)
+	}
+	if resumed > 0 {
+		s += fmt.Sprintf(", %d resumed", resumed)
+	}
+	if executed > 0 {
+		mean := time.Duration(r.WallNanos.Load() / executed).Round(time.Millisecond)
+		s += fmt.Sprintf(", %v/job", mean)
+		elapsed := time.Since(r.start)
+		if remaining := total - completed; remaining > 0 && elapsed > 0 {
+			rate := float64(executed) / elapsed.Seconds()
+			if rate > 0 {
+				eta := time.Duration(float64(remaining) / rate * float64(time.Second))
+				s += fmt.Sprintf(", eta %v", eta.Round(time.Second))
+			}
+		}
+	}
+	return s
+}
+
+// MultiSink fans events out to several sinks.
+func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
+
+type multiSink []Sink
+
+func (m multiSink) RunStart(total, resumed int) {
+	for _, s := range m {
+		s.RunStart(total, resumed)
+	}
+}
+
+func (m multiSink) JobDone(k Key, elapsed time.Duration, err error) {
+	for _, s := range m {
+		s.JobDone(k, elapsed, err)
+	}
+}
+
+func (m multiSink) RunEnd() {
+	for _, s := range m {
+		s.RunEnd()
+	}
+}

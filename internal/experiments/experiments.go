@@ -7,9 +7,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/sim"
 	"github.com/chirplab/chirp/internal/stats"
 	"github.com/chirplab/chirp/internal/workloads"
@@ -30,6 +32,32 @@ type Options struct {
 	WalkPenalty uint64
 	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Ctx cancels in-progress suite runs (nil = Background). A
+	// cancelled run stops dispatching jobs, drains the in-flight ones
+	// and — with Checkpoint set — leaves a resumable file behind.
+	Ctx context.Context
+	// Sink observes per-job engine progress (nil = silent).
+	Sink engine.Sink
+	// Checkpoint, when non-nil, makes every suite run resumable: each
+	// experiment namespaces its jobs with a scope, so one file covers
+	// a whole `-exp all` sweep.
+	Checkpoint *engine.Checkpoint
+}
+
+// ctx returns the run context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// suiteOpts assembles the engine-facing options for one suite
+// invocation. Experiments that drive the suite several times under
+// one name (config sweeps reusing policy names) must pass a distinct
+// scope per invocation so checkpoint keys never collide.
+func (o Options) suiteOpts(scope string) sim.SuiteOptions {
+	return sim.SuiteOptions{Workers: o.Workers, Sink: o.Sink, Checkpoint: o.Checkpoint, Scope: scope}
 }
 
 // DefaultOptions returns a laptop-scale configuration: the full suite
@@ -64,15 +92,15 @@ type PolicyAverages struct {
 	TableRateMean float64
 }
 
-// suiteMPKI runs the TLB-only suite for the named policies and indexes
-// results by policy.
-func suiteMPKI(o Options, policyNames []string) (map[string][]sim.SuiteResult, []*workloads.Workload, error) {
+// suiteMPKI runs the TLB-only suite for the named policies under the
+// given checkpoint scope and indexes results by policy.
+func suiteMPKI(o Options, scope string, policyNames []string) (map[string][]sim.SuiteResult, []*workloads.Workload, error) {
 	ws := o.suite()
 	pols, err := sim.Factories(policyNames)
 	if err != nil {
 		return nil, nil, err
 	}
-	results, err := sim.RunSuiteTLBOnly(ws, pols, o.tlbCfg(), o.Workers)
+	results, err := sim.RunSuiteTLBOnlyCtx(o.ctx(), ws, pols, o.tlbCfg(), o.suiteOpts(scope))
 	if err != nil {
 		return nil, nil, err
 	}

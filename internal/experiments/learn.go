@@ -410,7 +410,7 @@ func Prefetch(o Options) (*PrefetchResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			rs, err := sim.RunSuiteTLBOnly(ws, pols, cfg, o.Workers)
+			rs, err := sim.RunSuiteTLBOnlyCtx(o.ctx(), ws, pols, cfg, o.suiteOpts(fmt.Sprintf("prefetch/d=%d", dist)))
 			if err != nil {
 				return nil, err
 			}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"github.com/chirplab/chirp/internal/core"
+	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/policy"
 	"github.com/chirplab/chirp/internal/sim"
 	"github.com/chirplab/chirp/internal/stats"
@@ -25,7 +27,7 @@ type Fig7Result struct {
 
 // Fig7 reproduces Figure 7 (MPKI comparison of the six policies, §VI-A).
 func Fig7(o Options) (*Fig7Result, error) {
-	byPolicy, ws, err := suiteMPKI(o, sim.PaperPolicies)
+	byPolicy, ws, err := suiteMPKI(o, "fig7", sim.PaperPolicies)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +84,7 @@ type Fig1Result struct {
 
 // Fig1 reproduces Figure 1 / §VI-D (TLB efficiency heat map).
 func Fig1(o Options) (*Fig1Result, error) {
-	byPolicy, ws, err := suiteMPKI(o, sim.PaperPolicies)
+	byPolicy, ws, err := suiteMPKI(o, "fig1", sim.PaperPolicies)
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +195,7 @@ func Fig6(o Options) (*Fig6Result, error) {
 		{"chirp", "full CHiRP (+ indirect branch history)", 28.21, sim.CHiRPFactory(core.DefaultConfig())},
 	}
 
-	lruRes, err := sim.RunSuiteTLBOnly(ws, lruF, cfg, o.Workers)
+	lruRes, err := sim.RunSuiteTLBOnlyCtx(o.ctx(), ws, lruF, cfg, o.suiteOpts("fig6"))
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +203,7 @@ func Fig6(o Options) (*Fig6Result, error) {
 
 	res := &Fig6Result{}
 	for _, v := range variants {
-		rs, err := sim.RunSuiteTLBOnly(ws, []sim.NamedFactory{{Name: v.name, New: v.factory}}, cfg, o.Workers)
+		rs, err := sim.RunSuiteTLBOnlyCtx(o.ctx(), ws, []sim.NamedFactory{{Name: v.name, New: v.factory}}, cfg, o.suiteOpts("fig6"))
 		if err != nil {
 			return nil, err
 		}
@@ -248,7 +250,7 @@ func Fig9(o Options) (*Fig9Result, error) {
 	ws := o.suite()
 	cfg := o.tlbCfg()
 	lruF, _ := sim.Factories([]string{"lru"})
-	lruRes, err := sim.RunSuiteTLBOnly(ws, lruF, cfg, o.Workers)
+	lruRes, err := sim.RunSuiteTLBOnlyCtx(o.ctx(), ws, lruF, cfg, o.suiteOpts("fig9"))
 	if err != nil {
 		return nil, err
 	}
@@ -259,7 +261,7 @@ func Fig9(o Options) (*Fig9Result, error) {
 		entries := bytes * 8 / 2 // 2-bit counters
 		c := core.DefaultConfig()
 		c.TableEntries = entries
-		rs, err := sim.RunSuiteTLBOnly(ws, []sim.NamedFactory{{Name: "chirp", New: sim.CHiRPFactory(c)}}, cfg, o.Workers)
+		rs, err := sim.RunSuiteTLBOnlyCtx(o.ctx(), ws, []sim.NamedFactory{{Name: "chirp", New: sim.CHiRPFactory(c)}}, cfg, o.suiteOpts(fmt.Sprintf("fig9/%dB", bytes)))
 		if err != nil {
 			return nil, err
 		}
@@ -303,7 +305,7 @@ type Fig11Result struct {
 // Fig11 reproduces Figure 11 (§VI-B): CHiRP touches its table on
 // ~10% of TLB accesses, SHiP and GHRP on (over) 100%.
 func Fig11(o Options) (*Fig11Result, error) {
-	byPolicy, _, err := suiteMPKI(o, []string{"ship", "ghrp", "chirp"})
+	byPolicy, _, err := suiteMPKI(o, "fig11", []string{"ship", "ghrp", "chirp"})
 	if err != nil {
 		return nil, err
 	}
@@ -350,23 +352,36 @@ type OptResult struct {
 func OptBound(o Options) (*OptResult, error) {
 	ws := o.suite()
 	cfg := o.tlbCfg()
-	byPolicy, _, err := suiteMPKI(o, []string{"lru", "chirp"})
+	byPolicy, _, err := suiteMPKI(o, "opt", []string{"lru", "chirp"})
 	if err != nil {
 		return nil, err
 	}
 	res := &OptResult{Averages: averages(byPolicy, []string{"lru", "chirp"})}
 
-	var optMPKI []float64
+	// The oracle runs are engine jobs too: each needs two passes over
+	// its trace (stream collection, then the OPT replay), so they gain
+	// the most from the worker pool — and from checkpointing.
+	jobs := make([]engine.Job[float64], 0, len(ws))
 	for _, w := range ws {
-		stream, err := sim.CollectL2Stream(trace.NewLimit(w.Source(), o.Instructions), cfg)
-		if err != nil {
-			return nil, err
-		}
-		r, err := sim.RunTLBOnly(trace.NewLimit(w.Source(), o.Instructions), newOPT(stream), cfg)
-		if err != nil {
-			return nil, err
-		}
-		optMPKI = append(optMPKI, r.MPKI)
+		w := w
+		jobs = append(jobs, engine.Job[float64]{
+			Key: engine.Key{Scope: "opt", Workload: w.Name, Policy: "opt"},
+			Run: func(context.Context) (float64, error) {
+				stream, err := sim.CollectL2Stream(trace.NewLimit(w.Source(), o.Instructions), cfg)
+				if err != nil {
+					return 0, err
+				}
+				r, err := sim.RunTLBOnly(trace.NewLimit(w.Source(), o.Instructions), newOPT(stream), cfg)
+				if err != nil {
+					return 0, err
+				}
+				return r.MPKI, nil
+			},
+		})
+	}
+	optMPKI, err := engine.Run(o.ctx(), jobs, engine.Config{Workers: o.Workers, Sink: o.Sink, Checkpoint: o.Checkpoint})
+	if err != nil {
+		return nil, err
 	}
 	res.OptMeanMPKI = stats.Mean(optMPKI)
 	res.OptReductionPct = stats.Reduction(res.Averages[0].MeanMPKI, res.OptMeanMPKI)
@@ -402,7 +417,7 @@ type BaselinesResult struct {
 
 // Baselines runs the extended baseline comparison.
 func Baselines(o Options) (*BaselinesResult, error) {
-	byPolicy, _, err := suiteMPKI(o, sim.ExtendedPolicies)
+	byPolicy, _, err := suiteMPKI(o, "baselines", sim.ExtendedPolicies)
 	if err != nil {
 		return nil, err
 	}
@@ -439,7 +454,7 @@ type CategoryRow struct {
 
 // Categories runs the paper's six policies and reduces per category.
 func Categories(o Options) (*CategoryResult, error) {
-	byPolicy, ws, err := suiteMPKI(o, sim.PaperPolicies)
+	byPolicy, ws, err := suiteMPKI(o, "categories", sim.PaperPolicies)
 	if err != nil {
 		return nil, err
 	}

@@ -18,13 +18,13 @@ func (o Options) timingCfg(penalty uint64) pipeline.Config {
 // speedups runs the timing suite for the named policies and returns,
 // per policy, the per-workload IPC ratios versus LRU (LRU must be in
 // the list).
-func speedups(o Options, policyNames []string, penalty uint64) (map[string][]float64, []string, error) {
+func speedups(o Options, scope string, policyNames []string, penalty uint64) (map[string][]float64, []string, error) {
 	ws := o.suite()
 	pols, err := sim.Factories(policyNames)
 	if err != nil {
 		return nil, nil, err
 	}
-	results, err := sim.RunSuiteTiming(ws, pols, o.timingCfg(penalty), o.Workers)
+	results, err := sim.RunSuiteTimingCtx(o.ctx(), ws, pols, o.timingCfg(penalty), o.suiteOpts(scope))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -70,7 +70,7 @@ type Fig8Result struct {
 
 // Fig8 reproduces Figure 8 (speedup for the suite at WalkPenalty).
 func Fig8(o Options) (*Fig8Result, error) {
-	ratios, names, err := speedups(o, sim.PaperPolicies, o.WalkPenalty)
+	ratios, names, err := speedups(o, "fig8", sim.PaperPolicies, o.WalkPenalty)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +122,7 @@ type Fig10Result struct {
 func Fig10(o Options) (*Fig10Result, error) {
 	res := &Fig10Result{Order: sim.PaperPolicies}
 	for _, penalty := range []uint64{20, 60, 100, 150, 200, 260, 320, 340} {
-		ratios, _, err := speedups(o, sim.PaperPolicies, penalty)
+		ratios, _, err := speedups(o, fmt.Sprintf("fig10/penalty=%d", penalty), sim.PaperPolicies, penalty)
 		if err != nil {
 			return nil, err
 		}
@@ -199,7 +199,7 @@ func Fig2(o Options) (*Fig2Result, error) {
 			{Name: "path-only", New: sim.CHiRPFactory(pathOnly)},
 			{Name: "combined", New: sim.CHiRPFactory(combined)},
 		}
-		results, err := sim.RunSuiteTiming(ws, pols, cfgT, o.Workers)
+		results, err := sim.RunSuiteTimingCtx(o.ctx(), ws, pols, cfgT, o.suiteOpts(fmt.Sprintf("fig2/len=%d", length)))
 		if err != nil {
 			return nil, err
 		}

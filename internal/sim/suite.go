@@ -1,10 +1,10 @@
 package sim
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/pipeline"
 	"github.com/chirplab/chirp/internal/policy"
 	"github.com/chirplab/chirp/internal/tlb"
@@ -28,94 +28,90 @@ type TimingResult struct {
 	pipeline.Result
 }
 
-// RunSuiteTLBOnly measures each workload under each policy with the
-// fast TLB-only driver, fanning (workload, policy) pairs across
-// workers goroutines (GOMAXPROCS when workers <= 0). Results are
-// ordered by workload then policy.
-func RunSuiteTLBOnly(ws []*workloads.Workload, pols []NamedFactory, cfg TLBOnlyConfig, workers int) ([]SuiteResult, error) {
-	results := make([]SuiteResult, len(ws)*len(pols))
-	err := fanOut(len(ws)*len(pols), workers, func(i int) error {
-		w := ws[i/len(pols)]
-		p := pols[i%len(pols)]
+// SuiteOptions carries the cross-cutting controls of a suite run;
+// the zero value runs serially with no telemetry or checkpointing.
+type SuiteOptions struct {
+	// Workers bounds simulation parallelism (<= 0 means GOMAXPROCS).
+	Workers int
+	// Sink observes per-job progress (nil = silent).
+	Sink engine.Sink
+	// Checkpoint, when non-nil, restores already-completed (workload,
+	// policy) rows instead of re-simulating them and records each new
+	// completion, so a killed run resumes where it stopped.
+	Checkpoint *engine.Checkpoint
+	// Scope namespaces this invocation's checkpoint keys. Callers that
+	// run the suite more than once against one checkpoint file (config
+	// sweeps reusing policy names) must pass distinct scopes.
+	Scope string
+}
+
+// suiteJobs builds one engine job per (workload, policy) pair, in
+// workload-major order — the result ordering both runners guarantee.
+func suiteJobs[T any](ws []*workloads.Workload, pols []NamedFactory, scope string,
+	run func(w *workloads.Workload, p NamedFactory) (T, error)) []engine.Job[T] {
+	jobs := make([]engine.Job[T], 0, len(ws)*len(pols))
+	for _, w := range ws {
+		for _, p := range pols {
+			w, p := w, p
+			jobs = append(jobs, engine.Job[T]{
+				Key: engine.Key{Scope: scope, Workload: w.Name, Policy: p.Name},
+				Run: func(context.Context) (T, error) { return run(w, p) },
+			})
+		}
+	}
+	return jobs
+}
+
+// RunSuiteTLBOnlyCtx measures each workload under each policy with
+// the fast TLB-only driver, fanning (workload, policy) pairs across
+// the engine's worker pool. Results are ordered by workload then
+// policy. On failure (including a panicking policy, which surfaces as
+// an error naming its pair instead of crashing the process) the
+// completed results are still returned — and still checkpointed, when
+// opts.Checkpoint is set.
+func RunSuiteTLBOnlyCtx(ctx context.Context, ws []*workloads.Workload, pols []NamedFactory, cfg TLBOnlyConfig, opts SuiteOptions) ([]SuiteResult, error) {
+	jobs := suiteJobs(ws, pols, opts.Scope, func(w *workloads.Workload, p NamedFactory) (SuiteResult, error) {
 		prog := w.Program()
 		src := trace.NewLimit(workloads.NewGenerator(prog), cfg.Instructions)
 		res, err := RunTLBOnly(src, p.New(), cfg)
 		if err != nil {
-			return fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
+			return SuiteResult{}, fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
 		}
 		res.Policy = p.Name
-		results[i] = SuiteResult{Workload: w.Name, Category: w.Category, Profile: prog.Profile, TLBOnlyResult: res}
-		return nil
+		return SuiteResult{Workload: w.Name, Category: w.Category, Profile: prog.Profile, TLBOnlyResult: res}, nil
 	})
-	return results, err
+	return engine.Run(ctx, jobs, engine.Config{Workers: opts.Workers, Sink: opts.Sink, Checkpoint: opts.Checkpoint})
 }
 
-// RunSuiteTiming measures each workload under each policy with the
-// full timing model.
-func RunSuiteTiming(ws []*workloads.Workload, pols []NamedFactory, cfg pipeline.Config, workers int) ([]TimingResult, error) {
-	results := make([]TimingResult, len(ws)*len(pols))
-	err := fanOut(len(ws)*len(pols), workers, func(i int) error {
-		w := ws[i/len(pols)]
-		p := pols[i%len(pols)]
+// RunSuiteTLBOnly is RunSuiteTLBOnlyCtx without cancellation,
+// telemetry or checkpointing.
+func RunSuiteTLBOnly(ws []*workloads.Workload, pols []NamedFactory, cfg TLBOnlyConfig, workers int) ([]SuiteResult, error) {
+	return RunSuiteTLBOnlyCtx(context.Background(), ws, pols, cfg, SuiteOptions{Workers: workers})
+}
+
+// RunSuiteTimingCtx measures each workload under each policy with the
+// full timing model, with the same engine semantics as
+// RunSuiteTLBOnlyCtx.
+func RunSuiteTimingCtx(ctx context.Context, ws []*workloads.Workload, pols []NamedFactory, cfg pipeline.Config, opts SuiteOptions) ([]TimingResult, error) {
+	jobs := suiteJobs(ws, pols, opts.Scope, func(w *workloads.Workload, p NamedFactory) (TimingResult, error) {
 		prog := w.Program()
 		m, err := pipeline.New(cfg, p.New(), func() tlb.Policy { return policy.NewLRU() })
 		if err != nil {
-			return fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
+			return TimingResult{}, fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
 		}
 		src := trace.NewLimit(workloads.NewGenerator(prog), cfg.Instructions)
 		res, err := m.Run(src)
 		if err != nil {
-			return fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
+			return TimingResult{}, fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
 		}
 		res.Policy = p.Name
-		results[i] = TimingResult{Workload: w.Name, Category: w.Category, Profile: prog.Profile, Result: res}
-		return nil
+		return TimingResult{Workload: w.Name, Category: w.Category, Profile: prog.Profile, Result: res}, nil
 	})
-	return results, err
+	return engine.Run(ctx, jobs, engine.Config{Workers: opts.Workers, Sink: opts.Sink, Checkpoint: opts.Checkpoint})
 }
 
-// fanOut runs fn(0..n-1) across a bounded worker pool and returns the
-// first error.
-func fanOut(n, workers int, fn func(i int) error) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		err1 error
-		next = make(chan int)
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if err1 == nil {
-						err1 = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return err1
+// RunSuiteTiming is RunSuiteTimingCtx without cancellation, telemetry
+// or checkpointing.
+func RunSuiteTiming(ws []*workloads.Workload, pols []NamedFactory, cfg pipeline.Config, workers int) ([]TimingResult, error) {
+	return RunSuiteTimingCtx(context.Background(), ws, pols, cfg, SuiteOptions{Workers: workers})
 }

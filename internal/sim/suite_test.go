@@ -1,49 +1,18 @@
 package sim
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
-	"sync/atomic"
+	"strings"
 	"testing"
+	"time"
 
+	"github.com/chirplab/chirp/internal/engine"
+	"github.com/chirplab/chirp/internal/tlb"
 	"github.com/chirplab/chirp/internal/workloads"
 )
-
-func TestFanOutRunsAll(t *testing.T) {
-	var count int64
-	err := fanOut(100, 4, func(i int) error {
-		atomic.AddInt64(&count, 1)
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if count != 100 {
-		t.Errorf("ran %d/100 tasks", count)
-	}
-}
-
-func TestFanOutPropagatesError(t *testing.T) {
-	want := errors.New("boom")
-	err := fanOut(10, 3, func(i int) error {
-		if i == 7 {
-			return want
-		}
-		return nil
-	})
-	if !errors.Is(err, want) {
-		t.Errorf("error = %v, want %v", err, want)
-	}
-	// Serial path too.
-	err = fanOut(10, 1, func(i int) error {
-		if i == 3 {
-			return want
-		}
-		return nil
-	})
-	if !errors.Is(err, want) {
-		t.Errorf("serial error = %v, want %v", err, want)
-	}
-}
 
 func TestParallelMatchesSerial(t *testing.T) {
 	ws := workloads.SuiteN(4)
@@ -71,4 +40,140 @@ func TestRunSuitePropagatesBadPolicy(t *testing.T) {
 	if _, err := Factories([]string{"definitely-not-a-policy"}); err == nil {
 		t.Fatal("Factories accepted an unknown policy")
 	}
+}
+
+// panicPolicy explodes on its first access — the stand-in for a buggy
+// replacement policy inside a long suite sweep.
+type panicPolicy struct{}
+
+func (panicPolicy) Name() string                      { return "panic-pol" }
+func (panicPolicy) Attach(int, int)                   {}
+func (panicPolicy) OnAccess(*tlb.Access)              { panic("policy bug") }
+func (panicPolicy) OnHit(uint32, int, *tlb.Access)    {}
+func (panicPolicy) Victim(uint32, *tlb.Access) int    { return 0 }
+func (panicPolicy) OnInsert(uint32, int, *tlb.Access) {}
+
+// TestSuitePanicSurfacesJobIdentity is the regression test for the
+// old fanOut, where a panicking policy tore down the whole process:
+// the panic must convert into an error naming the (workload, policy)
+// pair, and results completed before it must survive.
+func TestSuitePanicSurfacesJobIdentity(t *testing.T) {
+	ws := workloads.SuiteN(2)
+	pols := []NamedFactory{
+		{Name: "lru", New: mustFactoryFor(t, "lru")},
+		{Name: "panic-pol", New: func() tlb.Policy { return panicPolicy{} }},
+	}
+	cfg := DefaultTLBOnlyConfig(100_000)
+	results, err := RunSuiteTLBOnlyCtx(context.Background(), ws, pols, cfg, SuiteOptions{Workers: 1})
+	if err == nil {
+		t.Fatal("panicking policy produced no error")
+	}
+	var je *engine.JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("error %v carries no job identity", err)
+	}
+	if je.Key.Workload != ws[0].Name || je.Key.Policy != "panic-pol" {
+		t.Errorf("blamed %v, want %s/panic-pol", je.Key, ws[0].Name)
+	}
+	var pe *engine.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not expose the panic", err)
+	}
+	if !strings.Contains(err.Error(), "panic") || !strings.Contains(err.Error(), "panic-pol") {
+		t.Errorf("error text does not name the panic and policy: %v", err)
+	}
+	// The lru job that ran before the panic kept its result.
+	if results[0].Workload != ws[0].Name || results[0].L2Accesses == 0 {
+		t.Errorf("pre-panic result lost: %+v", results[0])
+	}
+}
+
+// cancelAfter cancels a context once n jobs have finished — the test
+// harness's stand-in for `kill` mid-sweep.
+type cancelAfter struct {
+	engine.Counters
+	n      int64
+	cancel context.CancelFunc
+}
+
+func (s *cancelAfter) JobDone(k engine.Key, elapsed time.Duration, err error) {
+	s.Counters.JobDone(k, elapsed, err)
+	if s.Done.Load() >= s.n {
+		s.cancel()
+	}
+}
+
+// TestSuiteCheckpointResumeByteIdentical kills a suite run after two
+// jobs, resumes it from the checkpoint, and requires the resumed
+// results to be byte-identical (as JSON) to an uninterrupted run's.
+func TestSuiteCheckpointResumeByteIdentical(t *testing.T) {
+	ws := workloads.SuiteN(3)
+	pols, err := Factories([]string{"lru", "srrip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTLBOnlyConfig(120_000)
+
+	clean, err := RunSuiteTLBOnly(ws, pols, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancelled after two completed jobs.
+	path := t.TempDir() + "/suite.ckpt"
+	ck, err := engine.Open(path, "suite-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelAfter{n: 2, cancel: cancel}
+	_, err = RunSuiteTLBOnlyCtx(ctx, ws, pols, cfg, SuiteOptions{Workers: 1, Sink: sink, Checkpoint: ck})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run error = %v, want context.Canceled", err)
+	}
+	if ck.Len() < 2 || ck.Len() >= len(clean) {
+		t.Fatalf("checkpoint holds %d rows, want a strict mid-run subset of %d", ck.Len(), len(clean))
+	}
+	ck.Close()
+
+	// Resume against the same file; previously completed jobs must be
+	// restored, not re-run, and the output must match exactly.
+	ck2, err := engine.Open(path, "suite-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	var c engine.Counters
+	resumed, err := RunSuiteTLBOnlyCtx(context.Background(), ws, pols, cfg, SuiteOptions{Workers: 2, Sink: &c, Checkpoint: ck2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Resumed.Load() < 2 {
+		t.Errorf("resume restored %d jobs from checkpoint, want >= 2", c.Resumed.Load())
+	}
+	if int(c.Resumed.Load()+c.Done.Load()) != len(clean) {
+		t.Errorf("resume completed %d jobs, want %d", c.Resumed.Load()+c.Done.Load(), len(clean))
+	}
+
+	cleanJSON, err := json.Marshal(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedJSON, err := json.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cleanJSON, resumedJSON) {
+		t.Errorf("resumed output diverged from uninterrupted run:\nclean:   %s\nresumed: %s", cleanJSON, resumedJSON)
+	}
+}
+
+func mustFactoryFor(t *testing.T, name string) PolicyFactory {
+	t.Helper()
+	fs, err := Factories([]string{name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs[0].New
 }

@@ -127,14 +127,17 @@ func RunTLBOnly(src trace.Source, l2p tlb.Policy, cfg TLBOnlyConfig) (TLBOnlyRes
 		if pf != nil {
 			// The prefetcher observes the full L2 access stream (training
 			// on misses alone leaves stride gaps behind its own
-			// prefetches). Presence probes bypass the stats and policy:
-			// prefetch traffic must not count as demand misses.
+			// prefetches). Fills go through InsertPrefetch: it bypasses
+			// the demand hit/miss accounting but drives the policy's
+			// OnAccess for the prefetch access, so signature policies tag
+			// the prefetched page with its own fresh state (see the
+			// tlb.Policy prefetch contract).
 			for _, pv := range pf.observe(pc, vpn) {
 				if l2.Contains(pv) {
 					continue
 				}
-				pa := tlb.Access{PC: pc, VPN: pv, Set: l2.SetIndex(pv), Instr: instr}
-				l2.Insert(&pa, pv)
+				pa := tlb.Access{PC: pc, VPN: pv, Instr: instr}
+				l2.InsertPrefetch(&pa, pv)
 			}
 		}
 		l1.Insert(&a, vpn)

@@ -26,6 +26,11 @@ type Access struct {
 	ASID uint16
 	// Instr reports whether this is an instruction-side access.
 	Instr bool
+	// Prefetch marks a fill issued by a prefetcher rather than a
+	// demand access (see TLB.InsertPrefetch). PC then identifies the
+	// access that triggered the prefetch, while VPN is the prefetched
+	// page.
+	Prefetch bool
 }
 
 // Policy makes replacement decisions for one TLB. Implementations own
@@ -35,6 +40,17 @@ type Access struct {
 //   - OnHit, when the lookup hits way w;
 //   - OnInsert, after the missing translation is placed into way w
 //     (preceded by Victim when no invalid way was available).
+//
+// Prefetch fills (TLB.InsertPrefetch) obey the same shape: OnAccess
+// with the prefetch Access (Prefetch set, PC = triggering access, VPN
+// = prefetched page) followed by OnInsert — never OnHit. Every
+// OnInsert is therefore guaranteed a preceding OnAccess carrying the
+// same Access, so policies that latch per-access state (signatures,
+// set conditions) in OnAccess always tag the inserted entry against
+// the access actually being filled, not leftovers from the previous
+// demand access. Policies whose OnAccess trains demand-only state
+// (history registers, recency latches) must check Access.Prefetch and
+// skip that training for prefetch fills.
 //
 // Victim must return a way in [0, ways); the TLB evicts it.
 type Policy interface {
@@ -252,6 +268,23 @@ func (t *TLB) Insert(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
 	e.insert, e.lastHit = t.now, t.now
 	t.policy.OnInsert(a.Set, way, a)
 	return evicted, evictedVPN
+}
+
+// InsertPrefetch fills vpn→ppn on behalf of a prefetcher. Unlike the
+// demand path it is not preceded by a Lookup: prefetch traffic must
+// not count as demand accesses or misses, so the hit/miss counters
+// and the access clock are left untouched. It still honours the
+// Policy contract — it marks the access as a prefetch, fills in the
+// set index, and drives OnAccess before the fill — so signature
+// policies compute fresh per-access state for the prefetched page
+// instead of reusing whatever the last demand access latched.
+// Callers should probe Contains first; inserting an already-resident
+// VPN duplicates the entry.
+func (t *TLB) InsertPrefetch(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
+	a.Prefetch = true
+	a.Set = t.SetIndex(a.VPN)
+	t.policy.OnAccess(a)
+	return t.Insert(a, ppn)
 }
 
 // Flush invalidates every entry (a full TLB shootdown on hardware

@@ -295,3 +295,67 @@ func TestRecencyTooManyWays(t *testing.T) {
 	}()
 	NewRecency(1, 256)
 }
+
+// sigPolicy latches per-access state in OnAccess the way signature
+// policies (SHiP, CHiRP) do, and records what each insert was tagged
+// with — the probe for the prefetch-fill contract.
+type sigPolicy struct {
+	fifoPolicy
+	lastAccess  Access
+	insertTags  []Access // the latched access state at each OnInsert
+	sawPrefetch bool
+}
+
+func (p *sigPolicy) OnAccess(a *Access) {
+	p.fifoPolicy.OnAccess(a)
+	p.lastAccess = *a
+	if a.Prefetch {
+		p.sawPrefetch = true
+	}
+}
+func (p *sigPolicy) OnInsert(set uint32, way int, a *Access) {
+	p.fifoPolicy.OnInsert(set, way, a)
+	p.insertTags = append(p.insertTags, p.lastAccess)
+}
+
+func TestInsertPrefetchDrivesOnAccess(t *testing.T) {
+	p := &sigPolicy{}
+	tl, err := New(Config{Name: "test", Entries: 16, Ways: 4, PageShift: 12}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A demand miss+fill, then a prefetch fill for the next page.
+	demand := Access{PC: 0x4000, VPN: 100}
+	if _, hit := tl.Lookup(&demand); hit {
+		t.Fatal("empty TLB hit")
+	}
+	tl.Insert(&demand, 100)
+	before := tl.Stats()
+
+	pa := Access{PC: 0x4000, VPN: 101}
+	tl.InsertPrefetch(&pa, 101)
+
+	// The policy contract: the prefetch insert was preceded by an
+	// OnAccess carrying the prefetch access itself (VPN 101, Prefetch
+	// set), not the stale demand access (VPN 100).
+	if !p.sawPrefetch {
+		t.Error("prefetch fill never drove OnAccess with Prefetch set")
+	}
+	if got := p.insertTags[len(p.insertTags)-1]; got.VPN != 101 || !got.Prefetch {
+		t.Errorf("prefetch insert tagged with latched access %+v, want VPN 101 with Prefetch", got)
+	}
+	// Prefetch traffic is not demand traffic: no access/hit/miss moved.
+	after := tl.Stats()
+	if after.Accesses != before.Accesses || after.Misses != before.Misses || after.Hits != before.Hits {
+		t.Errorf("prefetch fill moved demand counters: %+v -> %+v", before, after)
+	}
+	if !tl.Contains(101) {
+		t.Error("prefetched VPN not resident")
+	}
+	// The prefetched entry behaves like any other on the demand path.
+	hitA := Access{PC: 0x9000, VPN: 101}
+	if _, hit := tl.Lookup(&hitA); !hit {
+		t.Error("demand lookup missed the prefetched entry")
+	}
+}
