@@ -12,11 +12,13 @@ package chirp
 // cmd/chirpexp runs the same experiments at full scale.
 
 import (
+	"context"
 	"io"
 	"testing"
 
 	"github.com/chirplab/chirp/internal/core"
 	"github.com/chirplab/chirp/internal/experiments"
+	"github.com/chirplab/chirp/internal/l2stream"
 	"github.com/chirplab/chirp/internal/policy"
 	"github.com/chirplab/chirp/internal/sim"
 	"github.com/chirplab/chirp/internal/tlb"
@@ -272,6 +274,171 @@ func BenchmarkTLBOnlySimThroughput(b *testing.B) {
 		total += res.Instructions
 	}
 	b.ReportMetric(float64(total)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// --- capture/replay benchmarks (internal/l2stream) ---
+
+// streamBenchPolicies spans the cheap and expensive ends of the
+// registry: replay wins most where the policy itself is light.
+var streamBenchPolicies = []string{"lru", "srrip", "ship", "ghrp", "chirp"}
+
+func streamBenchSource(cfg sim.TLBOnlyConfig) trace.Source {
+	return trace.NewLimit(workloads.ByName("db-003").Source(), cfg.Instructions)
+}
+
+// BenchmarkRunTLBOnly is the direct path: generate + L1-filter + L2
+// simulate, per policy, every iteration.
+func BenchmarkRunTLBOnly(b *testing.B) {
+	cfg := sim.DefaultTLBOnlyConfig(400_000)
+	for _, name := range streamBenchPolicies {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := sim.NewPolicy(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.RunTLBOnly(streamBenchSource(cfg), p, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplayTLBOnly is the replay path over a pre-captured
+// stream — what every policy after the first pays in a sweep.
+func BenchmarkReplayTLBOnly(b *testing.B) {
+	cfg := sim.DefaultTLBOnlyConfig(400_000)
+	stream, err := l2stream.Capture(streamBenchSource(cfg), sim.CaptureConfig(cfg), l2stream.CaptureOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stream.Close()
+	for _, name := range streamBenchPolicies {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := sim.NewPolicy(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.ReplayTLBOnly(stream, p, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamCapture measures the encode side: one full
+// generate + L1-filter + delta/varint-encode pass.
+func BenchmarkStreamCapture(b *testing.B) {
+	cfg := sim.DefaultTLBOnlyConfig(400_000)
+	var records, events, bytes float64
+	for i := 0; i < b.N; i++ {
+		s, err := l2stream.Capture(streamBenchSource(cfg), sim.CaptureConfig(cfg), l2stream.CaptureOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = float64(s.Records())
+		events = float64(s.Events())
+		bytes = float64(s.MemBytes())
+		s.Close()
+	}
+	b.ReportMetric(records*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrec/s")
+	b.ReportMetric(bytes/events, "bytes/event")
+}
+
+// BenchmarkStreamDecode measures the decode side alone: one pass over
+// the captured event sequence, no TLB behind it, through both the
+// record-at-a-time and the block decoder replay actually uses.
+func BenchmarkStreamDecode(b *testing.B) {
+	cfg := sim.DefaultTLBOnlyConfig(400_000)
+	s, err := l2stream.Capture(streamBenchSource(cfg), sim.CaptureConfig(cfg), l2stream.CaptureOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.Run("event", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := s.Decode()
+			var ev l2stream.Event
+			n := 0
+			for d.Next(&ev) {
+				n++
+			}
+			if err := d.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if uint64(n) != s.Events() {
+				b.Fatalf("decoded %d events, captured %d", n, s.Events())
+			}
+		}
+		b.ReportMetric(float64(s.Events())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	})
+	b.Run("block", func(b *testing.B) {
+		var evs [256]l2stream.Event
+		for i := 0; i < b.N; i++ {
+			d := s.Decode()
+			n := 0
+			for {
+				k := d.NextBlock(evs[:])
+				if k == 0 {
+					break
+				}
+				n += k
+			}
+			if err := d.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if uint64(n) != s.Events() {
+				b.Fatalf("decoded %d events, captured %d", n, s.Events())
+			}
+		}
+		b.ReportMetric(float64(s.Events())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	})
+}
+
+// BenchmarkSweepPolicies is the headline comparison: multi-policy
+// suite sweeps with capture/replay on versus off. The ratio of each
+// pair of sub-benchmark times is the wall-clock speedup chirpsweep
+// sees for that policy set. Each capture-replay iteration builds its
+// own stream cache, so it pays every capture and decode — nothing is
+// amortized across iterations.
+func BenchmarkSweepPolicies(b *testing.B) {
+	sets := []struct {
+		name     string
+		policies []string
+	}{
+		// The paper's four non-predictive baselines (Fig. 7 minus the
+		// predictors), the headline 4-policy comparison…
+		{"baseline4", []string{"lru", "random", "srrip", "ship"}},
+		// …the 4-policy set with both branch-history predictors…
+		{"predictive4", []string{"lru", "srrip", "ghrp", "chirp"}},
+		// …and the full Figure 7 set.
+		{"fig7", []string{"lru", "random", "srrip", "ship", "ghrp", "chirp"}},
+	}
+	ws := workloads.SuiteN(8)
+	cfg := sim.DefaultTLBOnlyConfig(400_000)
+	for _, set := range sets {
+		pols, err := sim.Factories(set.policies)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(b *testing.B, budget int64) {
+			for i := 0; i < b.N; i++ {
+				rs, err := sim.RunSuiteTLBOnlyCtx(context.Background(), ws, pols, cfg,
+					sim.SuiteOptions{Workers: 1, StreamBudget: budget})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rs) != len(ws)*len(pols) {
+					b.Fatalf("got %d results", len(rs))
+				}
+			}
+		}
+		b.Run(set.name+"/direct", func(b *testing.B) { run(b, -1) })
+		b.Run(set.name+"/capture-replay", func(b *testing.B) { run(b, 0) })
+	}
 }
 
 func itoa(n int) string {

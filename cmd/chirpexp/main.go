@@ -23,6 +23,7 @@ import (
 
 	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/experiments"
+	"github.com/chirplab/chirp/internal/l2stream"
 )
 
 type runner struct {
@@ -39,6 +40,7 @@ func run() int {
 	instr := flag.Uint64("instr", 2_000_000, "instructions per trace")
 	penalty := flag.Uint64("penalty", 150, "L2 TLB miss penalty in cycles for timing experiments")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	l2cache := flag.Int64("l2cache", 0, "L2 event-stream cache budget in MiB, shared across the selected experiments (0 = 256 MiB default, negative = per-experiment caches only)")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file: completed (workload, policy) runs are restored from it and new ones appended, so a killed sweep resumes where it stopped")
 	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 10s; 0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -64,6 +66,14 @@ func run() int {
 		WalkPenalty:  *penalty,
 		Workers:      *workers,
 		Ctx:          ctx,
+	}
+	if *l2cache >= 0 {
+		// One shared stream cache means `-exp all` captures each
+		// workload's L2 event stream once across every MPKI experiment
+		// (the experiments own per-call caches when this is nil).
+		streams := l2stream.NewCache(*l2cache<<20, "")
+		defer streams.Close()
+		o.StreamCache = streams
 	}
 	if *progress > 0 {
 		o.Sink = engine.NewReporter(os.Stderr, *progress)

@@ -19,6 +19,7 @@ import (
 	"syscall"
 
 	"github.com/chirplab/chirp/internal/engine"
+	"github.com/chirplab/chirp/internal/l2stream"
 	"github.com/chirplab/chirp/internal/pipeline"
 	"github.com/chirplab/chirp/internal/policy"
 	"github.com/chirplab/chirp/internal/sim"
@@ -40,6 +41,7 @@ func run() int {
 	list := flag.Bool("list", false, "list policies and suite workloads, then exit")
 	describe := flag.Bool("describe", false, "print the workload's program model as JSON and exit")
 	workers := flag.Int("workers", 0, "parallel policy runs (0 = GOMAXPROCS)")
+	l2cache := flag.Int64("l2cache", 0, "L2 event-stream cache budget in MiB for TLB-only runs: the trace is generated and L1-filtered once and replayed per policy (0 = 256 MiB default, negative = disable capture/replay)")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; completed policies are restored, not re-run")
 	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -127,6 +129,15 @@ func run() int {
 		cfg.Checkpoint = ck
 	}
 
+	// TLB-only runs capture the policy-invariant L2 event stream once
+	// and replay it under each policy (the timing model needs the full
+	// per-instruction stream, so -timing stays on the direct path).
+	var streams *l2stream.Cache
+	if !*timing && *l2cache >= 0 {
+		streams = l2stream.NewCache(*l2cache<<20, "")
+		defer streams.Close()
+	}
+
 	// One engine job per policy; results stay in -policies order, so
 	// the first policy remains the comparison baseline.
 	jobs := make([]engine.Job[policyRow], 0, len(names))
@@ -139,11 +150,11 @@ func run() int {
 				if err != nil {
 					return policyRow{}, err
 				}
-				src, err := openSource()
-				if err != nil {
-					return policyRow{}, err
-				}
 				if *timing {
+					src, err := openSource()
+					if err != nil {
+						return policyRow{}, err
+					}
 					m, err := pipeline.New(pipeline.DefaultConfig(*instr, *penalty), p,
 						func() tlb.Policy { return policy.NewLRU() })
 					if err != nil {
@@ -155,7 +166,24 @@ func run() int {
 					}
 					return policyRow{MPKI: res.MPKI, IPC: res.IPC, BranchAccuracy: res.BranchAccuracy}, nil
 				}
-				res, err := sim.RunTLBOnly(src, p, sim.DefaultTLBOnlyConfig(*instr))
+				tlbCfg := sim.DefaultTLBOnlyConfig(*instr)
+				var res sim.TLBOnlyResult
+				if streams != nil {
+					// The first policy's job captures; the rest replay the
+					// shared stream without reopening the source.
+					var stream *l2stream.Stream
+					stream, err = sim.StreamFor(streams, subject, tlbCfg, openSource)
+					if err == nil {
+						res, err = sim.ReplayTLBOnly(stream, p, tlbCfg)
+					}
+				} else {
+					var src trace.Source
+					src, err = openSource()
+					if err != nil {
+						return policyRow{}, err
+					}
+					res, err = sim.RunTLBOnly(src, p, tlbCfg)
+				}
 				if err != nil {
 					return policyRow{}, err
 				}

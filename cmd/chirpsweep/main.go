@@ -22,6 +22,7 @@ import (
 
 	"github.com/chirplab/chirp/internal/core"
 	"github.com/chirplab/chirp/internal/engine"
+	"github.com/chirplab/chirp/internal/l2stream"
 	"github.com/chirplab/chirp/internal/sim"
 	"github.com/chirplab/chirp/internal/stats"
 	"github.com/chirplab/chirp/internal/tlb"
@@ -35,6 +36,7 @@ func run() int {
 	n := flag.Int("n", 96, "suite prefix size")
 	instr := flag.Uint64("instr", 1_000_000, "instructions per trace")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	l2cache := flag.Int64("l2cache", 0, "L2 event-stream cache budget in MiB, shared across every sweep point (0 = 256 MiB default, negative = disable capture/replay)")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; a killed sweep resumes where it stopped")
 	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -52,6 +54,17 @@ func run() int {
 		defer stopProf()
 	}
 	opts := sim.SuiteOptions{Workers: *workers}
+	if *l2cache >= 0 {
+		// Sweep points vary only the L2 policy and geometry, which the
+		// captured stream is invariant to — one cache serves every
+		// measure() call below, so each workload's trace is generated
+		// and L1-filtered once for the whole sweep.
+		streams := l2stream.NewCache(*l2cache<<20, "")
+		defer streams.Close()
+		opts.StreamCache = streams
+	} else {
+		opts.StreamBudget = -1
+	}
 	if *progress > 0 {
 		opts.Sink = engine.NewReporter(os.Stderr, *progress)
 	}

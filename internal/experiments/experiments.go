@@ -12,6 +12,7 @@ import (
 	"io"
 
 	"github.com/chirplab/chirp/internal/engine"
+	"github.com/chirplab/chirp/internal/l2stream"
 	"github.com/chirplab/chirp/internal/sim"
 	"github.com/chirplab/chirp/internal/stats"
 	"github.com/chirplab/chirp/internal/workloads"
@@ -42,6 +43,15 @@ type Options struct {
 	// experiment namespaces its jobs with a scope, so one file covers
 	// a whole `-exp all` sweep.
 	Checkpoint *engine.Checkpoint
+	// StreamCache shares captured L2 event streams across an
+	// experiment's suite invocations (and across experiments, when the
+	// caller passes one cache to several). Sweep-style experiments that
+	// call the suite many times with a fixed trace budget — Fig6's
+	// history sweeps, Fig9's storage ladder, the prefetch-distance
+	// sweep — capture each workload once total instead of once per
+	// sweep point. Nil leaves each suite call to its own per-call
+	// cache; see sim.SuiteOptions.StreamCache.
+	StreamCache *l2stream.Cache
 }
 
 // ctx returns the run context.
@@ -57,7 +67,22 @@ func (o Options) ctx() context.Context {
 // one name (config sweeps reusing policy names) must pass a distinct
 // scope per invocation so checkpoint keys never collide.
 func (o Options) suiteOpts(scope string) sim.SuiteOptions {
-	return sim.SuiteOptions{Workers: o.Workers, Sink: o.Sink, Checkpoint: o.Checkpoint, Scope: scope}
+	return sim.SuiteOptions{Workers: o.Workers, Sink: o.Sink, Checkpoint: o.Checkpoint, Scope: scope,
+		StreamCache: o.StreamCache}
+}
+
+// withCache returns options that are guaranteed to carry a stream
+// cache, plus the cleanup for it. Experiments that invoke the suite
+// several times with one trace budget call this so every invocation
+// shares captures; when the caller already supplied a cache, it is
+// kept (and the cleanup is a no-op, since the caller owns it).
+func (o Options) withCache() (Options, func()) {
+	if o.StreamCache != nil {
+		return o, func() {}
+	}
+	c := l2stream.NewCache(0, "")
+	o.StreamCache = c
+	return o, func() { c.Close() }
 }
 
 // DefaultOptions returns a laptop-scale configuration: the full suite

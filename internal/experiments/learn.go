@@ -400,6 +400,11 @@ type PrefetchRow struct {
 // composed with LRU and CHiRP: replacement gains and prefetch gains
 // are largely orthogonal, which is the paper's §II positioning.
 func Prefetch(o Options) (*PrefetchResult, error) {
+	// The captured stream is prefetch-distance-invariant (the replay
+	// runs its own prefetcher), so all six (policy, distance) suite
+	// passes share one capture per workload.
+	o, done := o.withCache()
+	defer done()
 	ws := o.suite()
 	res := &PrefetchResult{}
 	for _, name := range []string{"lru", "chirp"} {

@@ -157,6 +157,11 @@ type Fig6Result struct {
 // Fig6 reproduces Figure 6 (§III): the effect of each feature,
 // input transform and update-policy optimisation on MPKI reduction.
 func Fig6(o Options) (*Fig6Result, error) {
+	// Nine suite passes over one trace budget: share one stream cache
+	// so each workload is generated and L1-filtered once, not nine
+	// times.
+	o, done := o.withCache()
+	defer done()
 	ws := o.suite()
 	cfg := o.tlbCfg()
 
@@ -247,6 +252,9 @@ type Fig9Result struct {
 // Fig9 reproduces Figure 9 (§VI-F): CHiRP MPKI improvement over LRU
 // for prediction-table budgets from 128 B to 8 KB (2-bit counters).
 func Fig9(o Options) (*Fig9Result, error) {
+	// Eight suite passes (LRU base + seven budgets) share captures.
+	o, done := o.withCache()
+	defer done()
 	ws := o.suite()
 	cfg := o.tlbCfg()
 	lruF, _ := sim.Factories([]string{"lru"})
@@ -350,6 +358,12 @@ type OptResult struct {
 // OptBound runs LRU, CHiRP and the offline OPT oracle over a suite
 // subset, quantifying how much of the optimal headroom CHiRP captures.
 func OptBound(o Options) (*OptResult, error) {
+	// One cache serves the lru/chirp suite pass AND the oracle jobs:
+	// the capture that replayed lru and chirp also yields the VPN
+	// sequence OPT's oracle needs and the event stream its run replays,
+	// so each workload's trace is generated exactly once.
+	o, done := o.withCache()
+	defer done()
 	ws := o.suite()
 	cfg := o.tlbCfg()
 	byPolicy, _, err := suiteMPKI(o, "opt", []string{"lru", "chirp"})
@@ -358,20 +372,25 @@ func OptBound(o Options) (*OptResult, error) {
 	}
 	res := &OptResult{Averages: averages(byPolicy, []string{"lru", "chirp"})}
 
-	// The oracle runs are engine jobs too: each needs two passes over
-	// its trace (stream collection, then the OPT replay), so they gain
-	// the most from the worker pool — and from checkpointing.
+	// The oracle runs are engine jobs too; they gain the most from the
+	// worker pool — and from checkpointing.
 	jobs := make([]engine.Job[float64], 0, len(ws))
 	for _, w := range ws {
 		w := w
 		jobs = append(jobs, engine.Job[float64]{
 			Key: engine.Key{Scope: "opt", Workload: w.Name, Policy: "opt"},
 			Run: func(context.Context) (float64, error) {
-				stream, err := sim.CollectL2Stream(trace.NewLimit(w.Source(), o.Instructions), cfg)
+				stream, err := sim.StreamFor(o.StreamCache, w.Name, cfg, func() (trace.Source, error) {
+					return trace.NewLimit(w.Source(), o.Instructions), nil
+				})
 				if err != nil {
 					return 0, err
 				}
-				r, err := sim.RunTLBOnly(trace.NewLimit(w.Source(), o.Instructions), newOPT(stream), cfg)
+				vpns, err := sim.StreamVPNs(stream, cfg)
+				if err != nil {
+					return 0, err
+				}
+				r, err := sim.ReplayTLBOnly(stream, newOPT(vpns), cfg)
 				if err != nil {
 					return 0, err
 				}

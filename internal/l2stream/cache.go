@@ -1,0 +1,164 @@
+package l2stream
+
+import (
+	"os"
+	"sync"
+)
+
+// DefaultBudget is the cache's default in-memory byte budget: large
+// enough to hold hundreds of suite-sized streams, small next to the
+// working memory an 870-workload sweep already uses.
+const DefaultBudget int64 = 256 << 20
+
+// Key identifies a cached stream: the workload name plus the
+// policy-invariant capture configuration. Comparable, so it indexes
+// the cache map directly.
+type Key struct {
+	Workload string
+	Config   Config
+}
+
+// Cache memoises captured streams under an LRU byte budget, with
+// single-flight capture: concurrent GetOrCapture calls for the same
+// key run the capture once and share the result — exactly the shape
+// the engine produces, since it dispatches a workload's per-policy
+// jobs to different workers back to back.
+//
+// Spilled streams cost the cache (almost) nothing in memory and are
+// never evicted; their files are deleted by Close. Evicting an
+// in-memory stream only drops the cache's reference — replays already
+// holding the stream keep working, and the bytes are reclaimed when
+// they finish.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	dir     string
+	used    int64
+	tick    uint64
+	entries map[Key]*cacheEntry
+	spills  []*Stream
+}
+
+type cacheEntry struct {
+	once    sync.Once
+	stream  *Stream
+	err     error
+	lastUse uint64
+	bytes   int64
+	done    bool
+}
+
+// NewCache returns a cache with the given in-memory byte budget
+// (<= 0 means DefaultBudget). Captures that would exceed the whole
+// budget on their own spill to files in dir ("" = the OS temp dir).
+func NewCache(budget int64, dir string) *Cache {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Cache{budget: budget, dir: dir, entries: map[Key]*cacheEntry{}}
+}
+
+// Budget returns the cache's in-memory byte budget.
+func (c *Cache) Budget() int64 { return c.budget }
+
+// GetOrCapture returns the cached stream for key, running capture
+// (once, even under concurrent callers) to produce it on first use.
+// The CaptureOptions passed to capture carry the cache's byte budget
+// and spill directory. A failed capture is not cached: the next caller
+// retries.
+func (c *Cache) GetOrCapture(key Key, capture func(CaptureOptions) (*Stream, error)) (*Stream, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.stream, e.err = capture(CaptureOptions{MaxBytes: c.budget, SpillDir: c.dir})
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if e.err != nil {
+			// Drop the failed entry so a later caller can retry (unless a
+			// retry already replaced it).
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			return
+		}
+		e.done = true
+		e.bytes = e.stream.FootprintBytes()
+		c.used += e.bytes
+		if e.stream.Spilled() {
+			c.spills = append(c.spills, e.stream)
+		}
+		c.evictLocked(key)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	c.mu.Lock()
+	c.tick++
+	e.lastUse = c.tick
+	c.mu.Unlock()
+	return e.stream, nil
+}
+
+// evictLocked drops least-recently-used completed in-memory entries
+// until the budget holds again. keep is never evicted (it is the entry
+// that just finished capturing and is about to be returned).
+func (c *Cache) evictLocked(keep Key) {
+	for c.used > c.budget {
+		var victimKey Key
+		var victim *cacheEntry
+		for k, e := range c.entries {
+			if k == keep || !e.done || e.bytes == 0 {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return // nothing evictable; a single oversized stream stays
+		}
+		c.used -= victim.bytes
+		delete(c.entries, victimKey)
+	}
+}
+
+// Len returns the number of resident streams (including in-flight
+// captures). For tests and telemetry.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Used returns the in-memory bytes currently accounted to the cache.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Close drops every entry and deletes all spill files the cache ever
+// produced. It is not safe to race Close with GetOrCapture.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	spills := c.spills
+	c.spills = nil
+	c.entries = map[Key]*cacheEntry{}
+	c.used = 0
+	c.mu.Unlock()
+
+	var first error
+	for _, s := range spills {
+		if err := s.Close(); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,375 @@
+package l2stream
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"github.com/chirplab/chirp/internal/policy"
+	"github.com/chirplab/chirp/internal/tlb"
+	"github.com/chirplab/chirp/internal/trace"
+)
+
+func testConfig(instructions uint64) Config {
+	return Config{
+		L1I:            tlb.Config{Name: "L1 iTLB", Entries: 16, Ways: 4, PageShift: 12},
+		L1D:            tlb.Config{Name: "L1 dTLB", Entries: 16, Ways: 4, PageShift: 12},
+		PageShift:      12,
+		Instructions:   instructions,
+		WarmupFraction: 0.5,
+	}
+}
+
+// testRecords synthesises a deterministic mixed trace that pressures
+// the small test L1s: strided loads over many pages, branches, skips.
+func testRecords(n int) []trace.Record {
+	rng := trace.NewRNG(7)
+	recs := make([]trace.Record, n)
+	pc := uint64(0x400000)
+	for i := range recs {
+		pc += uint64(4 * (1 + rng.Intn(8)))
+		if pc > 0x500000 {
+			pc = 0x400000 // wrap so the code footprint cycles the L1I
+		}
+		cls := trace.Class(rng.Intn(trace.NumClasses))
+		rec := trace.Record{PC: pc, Class: cls, Skip: uint32(rng.Intn(6))}
+		switch {
+		case cls.IsMemory():
+			rec.EA = uint64(rng.Intn(512)) << 12 // 512 pages >> L1D reach
+		case cls.IsBranch():
+			rec.Taken = rng.Bool(0.6) || cls != trace.ClassCondBranch
+			rec.Target = pc + uint64(rng.Intn(1<<10))
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+// referenceEvents independently L1-filters recs the way RunTLBOnly
+// does and returns the expected event sequence.
+func referenceEvents(t *testing.T, recs []trace.Record, cfg Config) []Event {
+	t.Helper()
+	l1i, err := tlb.New(cfg.L1I, policy.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1d, err := tlb.New(cfg.L1D, policy.NewLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmupAt := uint64(float64(cfg.Instructions) * cfg.WarmupFraction)
+	if cfg.Instructions == 0 {
+		warmupAt = 0
+	}
+	warmed := warmupAt == 0
+	var events []Event
+	var instructions uint64
+	access := func(l1 *tlb.TLB, pc, vpn uint64, instr bool) {
+		a := tlb.Access{PC: pc, VPN: vpn, Instr: instr}
+		if _, hit := l1.Lookup(&a); hit {
+			return
+		}
+		kind := EventDataAccess
+		if instr {
+			kind = EventInstrAccess
+		}
+		events = append(events, Event{Kind: kind, PC: pc, VPN: vpn})
+		l1.Insert(&a, vpn)
+	}
+	for i := range recs {
+		rec := &recs[i]
+		instructions += rec.Instructions()
+		if !warmed && instructions >= warmupAt {
+			warmed = true
+			events = append(events, Event{Kind: EventWarmup})
+		}
+		access(l1i, rec.PC, rec.PC>>cfg.PageShift, true)
+		switch {
+		case rec.Class.IsMemory():
+			access(l1d, rec.PC, rec.EA>>cfg.PageShift, false)
+		case rec.Class.IsBranch():
+			events = append(events, Event{
+				Kind: EventBranch, PC: rec.PC, Target: rec.Target,
+				Conditional: rec.Class == trace.ClassCondBranch,
+				Indirect:    rec.Class == trace.ClassUncondIndirect,
+				Taken:       rec.Taken,
+			})
+		}
+		if cfg.Instructions > 0 && instructions >= cfg.Instructions {
+			break
+		}
+	}
+	return events
+}
+
+func TestCaptureMatchesReference(t *testing.T) {
+	recs := testRecords(5000)
+	cfg := testConfig(8000)
+	s, err := Capture(trace.NewSliceSource(recs), cfg, CaptureOptions{})
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	if s.Spilled() {
+		t.Fatal("unbudgeted capture must not spill")
+	}
+	want := referenceEvents(t, recs, cfg)
+	if s.Events() != uint64(len(want)) {
+		t.Fatalf("Events() = %d, want %d", s.Events(), len(want))
+	}
+	d := s.Decode()
+	var ev Event
+	for i := 0; i < len(want); i++ {
+		if !d.Next(&ev) {
+			t.Fatalf("stream ended at event %d of %d (err: %v)", i, len(want), d.Err())
+		}
+		if ev != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+	if d.Next(&ev) {
+		t.Fatal("decoder produced extra events")
+	}
+	if d.Err() != nil {
+		t.Fatalf("decode error: %v", d.Err())
+	}
+	if s.MemBytes() == 0 || float64(s.MemBytes())/float64(s.Events()) > 6 {
+		t.Errorf("encoding too fat: %d bytes for %d events", s.MemBytes(), s.Events())
+	}
+}
+
+func TestCaptureScalars(t *testing.T) {
+	recs := testRecords(3000)
+	cfg := testConfig(5000)
+	s, err := Capture(trace.NewSliceSource(recs), cfg, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Warmed() {
+		t.Fatal("capture must cross the warmup boundary")
+	}
+	if s.WarmupAt() != 2500 {
+		t.Errorf("WarmupAt = %d, want 2500", s.WarmupAt())
+	}
+	if s.WarmupInstructions() < s.WarmupAt() {
+		t.Errorf("WarmupInstructions %d < WarmupAt %d", s.WarmupInstructions(), s.WarmupAt())
+	}
+	if s.Instructions() < cfg.Instructions {
+		t.Errorf("Instructions = %d, want >= %d", s.Instructions(), cfg.Instructions)
+	}
+	if s.L1IMisses() == 0 || s.L1DMisses() == 0 {
+		t.Errorf("post-warmup L1 misses = (%d, %d), want both > 0", s.L1IMisses(), s.L1DMisses())
+	}
+}
+
+func TestCaptureDeterministic(t *testing.T) {
+	recs := testRecords(2000)
+	cfg := testConfig(3000)
+	a, err := Capture(trace.NewSliceSource(recs), cfg, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Capture(trace.NewSliceSource(recs), cfg, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MemBytes() != b.MemBytes() || a.Events() != b.Events() || a.Records() != b.Records() {
+		t.Fatalf("captures diverged: (%d B, %d ev) vs (%d B, %d ev)",
+			a.MemBytes(), a.Events(), b.MemBytes(), b.Events())
+	}
+}
+
+func TestCaptureSpills(t *testing.T) {
+	recs := testRecords(4000)
+	cfg := testConfig(6000)
+	mem, err := Capture(trace.NewSliceSource(recs), cfg, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := Capture(trace.NewSliceSource(recs), cfg, CaptureOptions{MaxBytes: 64, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Close()
+	if !sp.Spilled() {
+		t.Fatal("64-byte budget must force a spill")
+	}
+	if sp.MemBytes() != 0 {
+		t.Errorf("spilled stream holds %d in-memory bytes", sp.MemBytes())
+	}
+	// Scalars must match the in-memory capture exactly.
+	if sp.Records() != mem.Records() || sp.Instructions() != mem.Instructions() ||
+		sp.WarmupInstructions() != mem.WarmupInstructions() ||
+		sp.L1IMisses() != mem.L1IMisses() || sp.L1DMisses() != mem.L1DMisses() {
+		t.Errorf("spilled scalars diverge from in-memory capture")
+	}
+	// The spill file must hold exactly the consumed record prefix.
+	fs, err := trace.OpenFile(sp.SpillPath())
+	if err != nil {
+		t.Fatalf("opening spill file: %v", err)
+	}
+	got := trace.Collect(fs)
+	fs.Close()
+	if uint64(len(got)) != sp.Records() {
+		t.Fatalf("spill file holds %d records, capture consumed %d", len(got), sp.Records())
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("spilled record %d diverged", i)
+		}
+	}
+	path := sp.SpillPath()
+	if err := sp.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("Close must delete the spill file")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	recs := testRecords(2000)
+	cfg := testConfig(3000)
+	c := NewCache(0, t.TempDir())
+	defer c.Close()
+	var mu sync.Mutex
+	captures := 0
+	key := Key{Workload: "w0", Config: cfg}
+	var wg sync.WaitGroup
+	streams := make([]*Stream, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := c.GetOrCapture(key, func(opts CaptureOptions) (*Stream, error) {
+				mu.Lock()
+				captures++
+				mu.Unlock()
+				return Capture(trace.NewSliceSource(recs), cfg, opts)
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			streams[i] = s
+		}()
+	}
+	wg.Wait()
+	if captures != 1 {
+		t.Errorf("capture ran %d times under concurrency, want 1", captures)
+	}
+	for i := 1; i < 8; i++ {
+		if streams[i] != streams[0] {
+			t.Fatal("concurrent callers got distinct streams")
+		}
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	recs := testRecords(2000)
+	cfg := testConfig(3000)
+	probe, err := Capture(trace.NewSliceSource(recs), cfg, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := probe.FootprintBytes()
+	// Budget for two streams; insert three distinct keys.
+	c := NewCache(2*one+one/2, t.TempDir())
+	defer c.Close()
+	for _, w := range []string{"a", "b", "c"} {
+		if _, err := c.GetOrCapture(Key{Workload: w, Config: cfg}, func(opts CaptureOptions) (*Stream, error) {
+			return Capture(trace.NewSliceSource(recs), cfg, opts)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Used() > c.Budget() {
+		t.Errorf("cache over budget: %d > %d", c.Used(), c.Budget())
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d streams after eviction, want 2", c.Len())
+	}
+}
+
+func TestCacheRetriesFailedCapture(t *testing.T) {
+	c := NewCache(0, t.TempDir())
+	defer c.Close()
+	key := Key{Workload: "w", Config: testConfig(100)}
+	calls := 0
+	fail := func(CaptureOptions) (*Stream, error) {
+		calls++
+		return nil, os.ErrPermission
+	}
+	if _, err := c.GetOrCapture(key, fail); err == nil {
+		t.Fatal("expected capture error")
+	}
+	recs := testRecords(500)
+	cfg := testConfig(100)
+	if _, err := c.GetOrCapture(Key{Workload: "w", Config: cfg}, func(opts CaptureOptions) (*Stream, error) {
+		calls++
+		return Capture(trace.NewSliceSource(recs), cfg, opts)
+	}); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("capture ran %d times, want 2 (fail + retry)", calls)
+	}
+}
+
+func TestDecodeAllMatchesNext(t *testing.T) {
+	recs := testRecords(5000)
+	cfg := testConfig(8000)
+	s, err := Capture(trace.NewSliceSource(recs), cfg, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: the event-at-a-time decoder, which fully populates
+	// every Event (unused fields zero).
+	var want []Event
+	d := s.Decode()
+	var ev Event
+	for d.Next(&ev) {
+		want = append(want, ev)
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	evs, err := s.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("DecodeAll returned %d events, Next produced %d", len(evs), len(want))
+	}
+	// DecodeAll decodes into a fresh zeroed slice, so fields NextBlock
+	// leaves untouched are zero — directly comparable to Next's output.
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("event %d: DecodeAll %+v, Next %+v", i, evs[i], want[i])
+		}
+	}
+	// The decode is memoized: a second call returns the same slice.
+	again, err := s.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &evs[0] {
+		t.Error("DecodeAll re-decoded instead of returning the memoized slice")
+	}
+}
+
+func TestDecoderRejectsGarbage(t *testing.T) {
+	d := &Decoder{buf: []byte{0x07, 0xff}, pageShift: 12} // kind 7 unused
+	var ev Event
+	if d.Next(&ev) {
+		t.Fatal("decoder accepted an unknown event kind")
+	}
+	if d.Err() == nil {
+		t.Fatal("decoder must report corruption")
+	}
+	// Truncated varint payload.
+	d = &Decoder{buf: []byte{wireDataAccess, 0x80}, pageShift: 12}
+	if d.Next(&ev) || d.Err() == nil {
+		t.Fatal("decoder must reject a truncated varint")
+	}
+}

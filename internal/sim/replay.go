@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/chirplab/chirp/internal/l2stream"
+	"github.com/chirplab/chirp/internal/tlb"
+	"github.com/chirplab/chirp/internal/trace"
+)
+
+// CaptureConfig projects a TLB-only configuration onto its
+// policy-invariant part — everything above the L2 policy boundary.
+// Runs whose CaptureConfigs are equal share one captured stream, no
+// matter which L2 policy, L2 geometry (beyond the page size), or
+// prefetch distance they use.
+func CaptureConfig(cfg TLBOnlyConfig) l2stream.Config {
+	return l2stream.Config{
+		L1I:            cfg.Hierarchy.L1I,
+		L1D:            cfg.Hierarchy.L1D,
+		PageShift:      cfg.Hierarchy.L2.PageShift,
+		Instructions:   cfg.Instructions,
+		WarmupFraction: cfg.WarmupFraction,
+	}
+}
+
+// CaptureKey returns the stream-cache key for a workload under cfg.
+func CaptureKey(workload string, cfg TLBOnlyConfig) l2stream.Key {
+	return l2stream.Key{Workload: workload, Config: CaptureConfig(cfg)}
+}
+
+// StreamFor returns the captured stream for a workload from cache,
+// capturing it on first use. open must return a fresh bounded source
+// for the workload (it is only called when the capture actually runs).
+func StreamFor(cache *l2stream.Cache, workload string, cfg TLBOnlyConfig, open func() (trace.Source, error)) (*l2stream.Stream, error) {
+	return cache.GetOrCapture(CaptureKey(workload, cfg), func(opts l2stream.CaptureOptions) (*l2stream.Stream, error) {
+		src, err := open()
+		if err != nil {
+			return nil, err
+		}
+		return l2stream.Capture(src, CaptureConfig(cfg), opts)
+	})
+}
+
+// ReplayTLBOnly drives the L2 TLB under l2p over a captured stream,
+// producing a TLBOnlyResult bit-identical to RunTLBOnly over the same
+// trace and configuration: the event sequence reproduces every L2
+// lookup, insert, prefetch-train and branch callback in order, and the
+// policy-invariant scalars (instruction totals, warmup position, L1
+// miss counts) come from the capture. Spilled streams replay as a
+// direct run over the spill file, which holds exactly the record
+// prefix RunTLBOnly would consume.
+func ReplayTLBOnly(stream *l2stream.Stream, l2p tlb.Policy, cfg TLBOnlyConfig) (TLBOnlyResult, error) {
+	if got, want := stream.Config(), CaptureConfig(cfg); got != want {
+		return TLBOnlyResult{}, fmt.Errorf("sim: stream captured under %+v cannot replay %+v", got, want)
+	}
+	if stream.Spilled() {
+		fs, err := trace.OpenFile(stream.SpillPath())
+		if err != nil {
+			return TLBOnlyResult{}, fmt.Errorf("sim: opening spilled stream: %w", err)
+		}
+		defer fs.Close()
+		return RunTLBOnly(fs, l2p, cfg)
+	}
+	if !stream.Warmed() {
+		// The same failure RunTLBOnly reports for a too-short trace.
+		return TLBOnlyResult{}, fmt.Errorf("sim: trace ended before warmup boundary (%d < %d instructions)", stream.Instructions(), stream.WarmupAt())
+	}
+
+	l2, err := tlb.New(cfg.Hierarchy.L2, l2p)
+	if err != nil {
+		return TLBOnlyResult{}, err
+	}
+	bo, observesBranches := l2p.(tlb.BranchObserver)
+
+	var pf *stridePrefetcher
+	if cfg.PrefetchDistance > 0 {
+		pf = newStridePrefetcher(cfg.PrefetchDistance)
+	}
+
+	// One decode per stream, shared across the policy fan-out: the
+	// first replay materializes the event slice, the rest iterate it.
+	evs, err := stream.DecodeAll()
+	if err != nil {
+		return TLBOnlyResult{}, err
+	}
+	var warmStats tlb.Stats
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case l2stream.EventInstrAccess, l2stream.EventDataAccess:
+			instr := ev.Kind == l2stream.EventInstrAccess
+			a2 := tlb.Access{PC: ev.PC, VPN: ev.VPN, Instr: instr}
+			if _, hit := l2.Lookup(&a2); !hit {
+				l2.Insert(&a2, ev.VPN)
+			}
+			if pf != nil {
+				// Same contract as RunTLBOnly: train on the full demand
+				// stream, fill through InsertPrefetch.
+				for _, pv := range pf.observe(ev.PC, ev.VPN) {
+					if l2.Contains(pv) {
+						continue
+					}
+					pa := tlb.Access{PC: ev.PC, VPN: pv, Instr: instr}
+					l2.InsertPrefetch(&pa, pv)
+				}
+			}
+		case l2stream.EventBranch:
+			if observesBranches {
+				bo.OnBranch(ev.PC, ev.Conditional, ev.Indirect, ev.Taken, ev.Target)
+			}
+		case l2stream.EventWarmup:
+			warmStats = l2.Stats()
+		}
+	}
+
+	l2.FlushAccounting()
+	st := l2.Stats()
+	res := TLBOnlyResult{
+		Policy:       l2p.Name(),
+		Instructions: stream.Instructions() - stream.WarmupInstructions(),
+		L2Accesses:   st.Accesses,
+		L2Misses:     st.Misses - warmStats.Misses,
+		Efficiency:   st.Efficiency(),
+		L1IMisses:    stream.L1IMisses(),
+		L1DMisses:    stream.L1DMisses(),
+	}
+	if res.Instructions > 0 {
+		res.MPKI = float64(res.L2Misses) / (float64(res.Instructions) / 1000)
+	}
+	if ta, ok := l2p.(tlb.TableAccounting); ok {
+		res.TableReads, res.TableWrites = ta.TableAccesses()
+		if st.Accesses > 0 {
+			res.TableAccessRate = float64(res.TableReads+res.TableWrites) / float64(st.Accesses)
+		}
+	}
+	return res, nil
+}
+
+// StreamVPNs extracts the L2 demand-access VPN sequence from a
+// captured stream — the input CollectL2Stream produces, without
+// re-running the generator and L1 filters. Spilled streams fall back
+// to CollectL2Stream over the spill file.
+func StreamVPNs(stream *l2stream.Stream, cfg TLBOnlyConfig) ([]uint64, error) {
+	if got, want := stream.Config(), CaptureConfig(cfg); got != want {
+		return nil, fmt.Errorf("sim: stream captured under %+v cannot serve %+v", got, want)
+	}
+	if stream.Spilled() {
+		fs, err := trace.OpenFile(stream.SpillPath())
+		if err != nil {
+			return nil, fmt.Errorf("sim: opening spilled stream: %w", err)
+		}
+		defer fs.Close()
+		return CollectL2Stream(fs, cfg)
+	}
+	evs, err := stream.DecodeAll()
+	if err != nil {
+		return nil, err
+	}
+	vpns := make([]uint64, 0, stream.Accesses())
+	for i := range evs {
+		if k := evs[i].Kind; k == l2stream.EventInstrAccess || k == l2stream.EventDataAccess {
+			vpns = append(vpns, evs[i].VPN)
+		}
+	}
+	return vpns, nil
+}

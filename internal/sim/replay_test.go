@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/chirplab/chirp/internal/l2stream"
+	"github.com/chirplab/chirp/internal/trace"
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+// equivalenceWorkloads spans 3+ categories with distinct behaviours:
+// database (batch/zipf mixes), web (pointer chases), and scientific
+// (streams/loops) pressure the L1 filters and branch stream
+// differently.
+var equivalenceWorkloads = []string{"db-003", "web-001", "sci-002", "spec-000"}
+
+func captureFor(t *testing.T, name string, cfg TLBOnlyConfig) *l2stream.Stream {
+	t.Helper()
+	w := workloads.ByName(name)
+	if w == nil {
+		t.Fatalf("workload %s missing", name)
+	}
+	src := trace.NewLimit(w.Source(), cfg.Instructions)
+	stream, err := l2stream.Capture(src, CaptureConfig(cfg), l2stream.CaptureOptions{})
+	if err != nil {
+		t.Fatalf("capture %s: %v", name, err)
+	}
+	return stream
+}
+
+// TestReplayEquivalence is the tentpole's correctness gate: for every
+// registered policy, on workloads from several categories, with and
+// without prefetching, ReplayTLBOnly must reproduce RunTLBOnly's
+// TLBOnlyResult bit for bit — including the table-accounting fields.
+func TestReplayEquivalence(t *testing.T) {
+	const instructions = 400000
+	for _, pd := range []int{0, 4} {
+		cfg := DefaultTLBOnlyConfig(instructions)
+		cfg.PrefetchDistance = pd
+		for _, wname := range equivalenceWorkloads {
+			stream := captureFor(t, wname, cfg)
+			for _, pname := range PolicyNames() {
+				w := workloads.ByName(wname)
+				pol, err := NewPolicy(pname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct, err := RunTLBOnly(trace.NewLimit(w.Source(), cfg.Instructions), pol, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s direct: %v", wname, pname, err)
+				}
+				pol2, _ := NewPolicy(pname)
+				replayed, err := ReplayTLBOnly(stream, pol2, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s replay: %v", wname, pname, err)
+				}
+				// TLBOnlyResult is all scalars, so == is field-by-field.
+				if replayed != direct {
+					t.Errorf("%s/%s pd=%d: replay diverged\n direct: %+v\n replay: %+v",
+						wname, pname, pd, direct, replayed)
+				}
+			}
+		}
+	}
+}
+
+func TestReplaySpilledEquivalence(t *testing.T) {
+	cfg := DefaultTLBOnlyConfig(200000)
+	cfg.PrefetchDistance = 2
+	w := workloads.ByName("db-003")
+	src := trace.NewLimit(w.Source(), cfg.Instructions)
+	stream, err := l2stream.Capture(src, CaptureConfig(cfg),
+		l2stream.CaptureOptions{MaxBytes: 1024, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	defer stream.Close()
+	if !stream.Spilled() {
+		t.Fatal("1 KiB budget must force a spill")
+	}
+	for _, pname := range []string{"lru", "chirp", "ghrp"} {
+		pol, _ := NewPolicy(pname)
+		direct, err := RunTLBOnly(trace.NewLimit(w.Source(), cfg.Instructions), pol, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pol2, _ := NewPolicy(pname)
+		replayed, err := ReplayTLBOnly(stream, pol2, cfg)
+		if err != nil {
+			t.Fatalf("%s spilled replay: %v", pname, err)
+		}
+		if replayed != direct {
+			t.Errorf("%s: spilled replay diverged\n direct: %+v\n replay: %+v", pname, direct, replayed)
+		}
+	}
+}
+
+func TestReplayRejectsConfigMismatch(t *testing.T) {
+	cfg := DefaultTLBOnlyConfig(50000)
+	stream := captureFor(t, "spec-000", cfg)
+	other := cfg
+	other.Instructions = 60000
+	pol, _ := NewPolicy("lru")
+	if _, err := ReplayTLBOnly(stream, pol, other); err == nil {
+		t.Error("replay must reject a mismatched instruction budget")
+	}
+	// L2 geometry (beyond the page size) is policy-local: changing it
+	// must NOT invalidate the stream.
+	geom := cfg
+	geom.Hierarchy.L2.Entries = 512
+	pol2, _ := NewPolicy("lru")
+	if _, err := ReplayTLBOnly(stream, pol2, geom); err != nil {
+		t.Errorf("replay must accept a different L2 geometry: %v", err)
+	}
+}
+
+func TestReplayUnwarmedMatchesRunError(t *testing.T) {
+	cfg := DefaultTLBOnlyConfig(100000)
+	w := workloads.ByName("spec-000")
+	// A source far shorter than the warmup boundary.
+	short := func() trace.Source { return trace.NewLimit(w.Source(), 1000) }
+	pol, _ := NewPolicy("lru")
+	_, directErr := RunTLBOnly(short(), pol, cfg)
+	if directErr == nil {
+		t.Fatal("direct run must fail before warmup")
+	}
+	stream, err := l2stream.Capture(short(), CaptureConfig(cfg), l2stream.CaptureOptions{})
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	pol2, _ := NewPolicy("lru")
+	_, replayErr := ReplayTLBOnly(stream, pol2, cfg)
+	if replayErr == nil {
+		t.Fatal("replay must fail before warmup")
+	}
+	if replayErr.Error() != directErr.Error() {
+		t.Errorf("error text diverged:\n direct: %v\n replay: %v", directErr, replayErr)
+	}
+}
+
+func TestStreamVPNsMatchesCollect(t *testing.T) {
+	cfg := DefaultTLBOnlyConfig(100000)
+	w := workloads.ByName("web-001")
+	want, err := CollectL2Stream(trace.NewLimit(w.Source(), cfg.Instructions), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := captureFor(t, "web-001", cfg)
+	got, err := StreamVPNs(stream, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("StreamVPNs returned %d VPNs, CollectL2Stream %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("VPN %d diverged: %#x vs %#x", i, got[i], want[i])
+		}
+	}
+	if stream.Accesses() != uint64(len(want)) {
+		t.Errorf("Accesses() = %d, want %d", stream.Accesses(), len(want))
+	}
+}
+
+func TestSuiteUsesSharedStreamCache(t *testing.T) {
+	cache := l2stream.NewCache(0, t.TempDir())
+	defer cache.Close()
+	ws := []*workloads.Workload{workloads.ByName("spec-000"), workloads.ByName("db-001")}
+	pols, err := Factories([]string{"lru", "srrip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTLBOnlyConfig(100000)
+	withCache, err := RunSuiteTLBOnlyCtx(context.Background(), ws, pols, cfg, SuiteOptions{StreamCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != len(ws) {
+		t.Errorf("cache holds %d streams, want one per workload (%d)", cache.Len(), len(ws))
+	}
+	// Direct path (replay disabled) must agree cell by cell.
+	direct, err := RunSuiteTLBOnlyCtx(context.Background(), ws, pols, cfg, SuiteOptions{StreamBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withCache) != len(direct) {
+		t.Fatalf("result counts differ: %d vs %d", len(withCache), len(direct))
+	}
+	for i := range direct {
+		if withCache[i] != direct[i] {
+			t.Errorf("cell %d diverged:\n cached: %+v\n direct: %+v", i, withCache[i], direct[i])
+		}
+	}
+	// A second suite call against the same cache reuses the captures.
+	again, err := RunSuiteTLBOnlyCtx(context.Background(), ws, pols, cfg, SuiteOptions{StreamCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if again[i] != direct[i] {
+			t.Errorf("rerun cell %d diverged", i)
+		}
+	}
+	if cache.Len() != len(ws) {
+		t.Errorf("rerun grew the cache to %d streams", cache.Len())
+	}
+}
+
+func TestReplayErrorNamesPair(t *testing.T) {
+	// A suite cell that fails during replay must still name its
+	// (workload, policy) pair, like the direct path does. A warmup
+	// fraction > 1 pushes the boundary past the instruction budget, so
+	// every capture ends unwarmed and the replay fails.
+	ws := []*workloads.Workload{workloads.ByName("spec-000")}
+	cfg := DefaultTLBOnlyConfig(10000)
+	cfg.WarmupFraction = 2.0
+	pol, err := Factories([]string{"lru"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunSuiteTLBOnlyCtx(context.Background(), ws, pol, cfg, SuiteOptions{})
+	if err == nil {
+		t.Fatal("expected warmup failure")
+	}
+	if !strings.Contains(err.Error(), "spec-000/lru") {
+		t.Errorf("error does not name the failing pair: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/chirplab/chirp/internal/engine"
+	"github.com/chirplab/chirp/internal/l2stream"
 	"github.com/chirplab/chirp/internal/pipeline"
 	"github.com/chirplab/chirp/internal/policy"
 	"github.com/chirplab/chirp/internal/tlb"
@@ -43,6 +44,18 @@ type SuiteOptions struct {
 	// run the suite more than once against one checkpoint file (config
 	// sweeps reusing policy names) must pass distinct scopes.
 	Scope string
+	// StreamCache, when non-nil, shares captured L2 event streams
+	// across suite invocations, so repeated calls that differ only in
+	// the L2 policy, L2 geometry, or prefetch distance capture each
+	// workload once total. When nil, the TLB-only runner owns a
+	// per-call cache (released on return) so the per-workload capture
+	// is still shared across this call's policies.
+	StreamCache *l2stream.Cache
+	// StreamBudget is the byte budget of the owned per-call cache
+	// (0 = l2stream.DefaultBudget). A negative budget disables
+	// capture/replay entirely: every (workload, policy) cell runs the
+	// direct RunTLBOnly path. Ignored when StreamCache is set.
+	StreamBudget int64
 }
 
 // suiteJobs builds one engine job per (workload, policy) pair, in
@@ -70,10 +83,30 @@ func suiteJobs[T any](ws []*workloads.Workload, pols []NamedFactory, scope strin
 // completed results are still returned — and still checkpointed, when
 // opts.Checkpoint is set.
 func RunSuiteTLBOnlyCtx(ctx context.Context, ws []*workloads.Workload, pols []NamedFactory, cfg TLBOnlyConfig, opts SuiteOptions) ([]SuiteResult, error) {
+	cache := opts.StreamCache
+	if cache == nil && opts.StreamBudget >= 0 {
+		cache = l2stream.NewCache(opts.StreamBudget, "")
+		defer cache.Close()
+	}
 	jobs := suiteJobs(ws, pols, opts.Scope, func(w *workloads.Workload, p NamedFactory) (SuiteResult, error) {
 		prog := w.Program()
-		src := trace.NewLimit(workloads.NewGenerator(prog), cfg.Instructions)
-		res, err := RunTLBOnly(src, p.New(), cfg)
+		var res TLBOnlyResult
+		var err error
+		if cache != nil {
+			// Capture the workload's L2 event stream once (shared across
+			// this workload's policies — and across suite calls when the
+			// cache is), then replay it under this cell's policy.
+			var stream *l2stream.Stream
+			stream, err = StreamFor(cache, w.Name, cfg, func() (trace.Source, error) {
+				return trace.NewLimit(workloads.NewGenerator(w.Program()), cfg.Instructions), nil
+			})
+			if err == nil {
+				res, err = ReplayTLBOnly(stream, p.New(), cfg)
+			}
+		} else {
+			src := trace.NewLimit(workloads.NewGenerator(prog), cfg.Instructions)
+			res, err = RunTLBOnly(src, p.New(), cfg)
+		}
 		if err != nil {
 			return SuiteResult{}, fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
 		}

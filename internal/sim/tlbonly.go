@@ -245,20 +245,26 @@ type stridePrefetcher struct {
 	stride   [256]int64
 	conf     [256]uint8
 	valid    [256]bool
+	// scratch is reused across observe calls; callers must consume the
+	// returned slice before the next call.
+	scratch []uint64
 }
 
 func newStridePrefetcher(distance int) *stridePrefetcher {
 	return &stridePrefetcher{distance: distance}
 }
 
-// observe records an L2 access and returns the VPNs to prefetch.
+// observe records an L2 access and returns the VPNs to prefetch. The
+// returned slice aliases the prefetcher's scratch buffer and is only
+// valid until the next observe call.
 func (p *stridePrefetcher) observe(pc, vpn uint64) []uint64 {
 	idx := policy.Mix64(pc>>2) & 0xff
-	defer func() { p.lastVPN[idx], p.valid[idx] = vpn, true }()
-	if !p.valid[idx] {
+	last, valid := p.lastVPN[idx], p.valid[idx]
+	p.lastVPN[idx], p.valid[idx] = vpn, true
+	if !valid {
 		return nil
 	}
-	delta := int64(vpn - p.lastVPN[idx])
+	delta := int64(vpn - last)
 	if delta == 0 {
 		return nil
 	}
@@ -276,11 +282,15 @@ func (p *stridePrefetcher) observe(pc, vpn uint64) []uint64 {
 	if p.conf[idx] < 2 {
 		return nil
 	}
-	out := make([]uint64, 0, p.distance)
+	if cap(p.scratch) < p.distance {
+		p.scratch = make([]uint64, 0, p.distance)
+	}
+	out := p.scratch[:0]
 	next := vpn
 	for d := 0; d < p.distance; d++ {
 		next += uint64(p.stride[idx])
 		out = append(out, next)
 	}
+	p.scratch = out
 	return out
 }

@@ -103,13 +103,21 @@ type Source interface {
 
 // CountInstructions drains src and returns the total committed
 // instruction count and record count. The source is left exhausted.
+// Reads are batched through BlockSource, so counting pays one
+// interface call per block instead of one per record.
 func CountInstructions(src Source) (instructions, records uint64) {
-	var rec Record
-	for src.Next(&rec) {
-		records++
-		instructions += rec.Instructions()
+	bs := Blocks(src)
+	var buf [DefaultBlockSize]Record
+	for {
+		n := bs.NextBlock(buf[:])
+		if n == 0 {
+			return instructions, records
+		}
+		records += uint64(n)
+		for i := 0; i < n; i++ {
+			instructions += buf[i].Instructions()
+		}
 	}
-	return instructions, records
 }
 
 // Limit wraps a Source and truncates it after max committed
@@ -118,11 +126,15 @@ type Limit struct {
 	Src Source
 	Max uint64
 
-	seen uint64
+	seen   uint64
+	blocks BlockSource // lazy batched view of Src, for NextBlock
 }
 
-// NewLimit returns a Source that yields records from src until max
-// committed instructions have been produced.
+// NewLimit returns a Source that yields records from src until exactly
+// max committed instructions have been produced: a record whose Skip
+// run would straddle the budget has its Skip clamped so the stream
+// never overshoots (the record's own PC event is always kept, so a
+// clamped stream still ends on a real instruction).
 func NewLimit(src Source, max uint64) *Limit { return &Limit{Src: src, Max: max} }
 
 // Next implements Source.
@@ -133,7 +145,12 @@ func (l *Limit) Next(rec *Record) bool {
 	if !l.Src.Next(rec) {
 		return false
 	}
-	l.seen += rec.Instructions()
+	if n := rec.Instructions(); l.seen+n > l.Max {
+		rec.Skip = uint32(l.Max - l.seen - 1)
+		l.seen = l.Max
+	} else {
+		l.seen += n
+	}
 	return true
 }
 

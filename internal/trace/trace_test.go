@@ -101,10 +101,10 @@ func TestLimitTruncates(t *testing.T) {
 	}
 	lim := NewLimit(NewSliceSource(recs), 55)
 	instrs, records := CountInstructions(lim)
-	// Limit emits whole records until the budget is reached: 50 after 5
-	// records, the 6th crosses 55, so 6 records / 60 instructions.
-	if records != 6 || instrs != 60 {
-		t.Errorf("limited stream = (%d instrs, %d records), want (60, 6)", instrs, records)
+	// 50 instructions after 5 records; the 6th straddles the budget, so
+	// its Skip is clamped and the stream yields exactly 55 instructions.
+	if records != 6 || instrs != 55 {
+		t.Errorf("limited stream = (%d instrs, %d records), want (55, 6)", instrs, records)
 	}
 	lim.Reset()
 	instrs2, records2 := CountInstructions(lim)

@@ -276,6 +276,25 @@ func (g *Generator) Next(rec *trace.Record) bool {
 	return true
 }
 
+// NextBlock implements trace.BlockSource natively: whole kernel
+// invocations are copied out of the internal queue without the
+// per-record interface call Next pays. The stream is infinite, so the
+// buffer is always filled completely.
+func (g *Generator) NextBlock(buf []trace.Record) int {
+	n := 0
+	for n < len(buf) {
+		if g.qpos >= len(g.queue) {
+			g.queue = g.queue[:0]
+			g.qpos = 0
+			g.emitCall()
+		}
+		c := copy(buf[n:], g.queue[g.qpos:])
+		g.qpos += c
+		n += c
+	}
+	return n
+}
+
 // pickSite draws a site from the current phase's weights.
 func (g *Generator) pickSite() *Site {
 	x := g.rng.Uint64n(g.cumTotal)

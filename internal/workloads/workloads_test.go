@@ -56,6 +56,37 @@ func TestGeneratorDeterministic(t *testing.T) {
 	}
 }
 
+func TestGeneratorNextBlockMatchesNext(t *testing.T) {
+	w := ByName("db-002")
+	if w == nil {
+		t.Fatal("workload db-002 missing")
+	}
+	// Reference via Next directly — not through trace.Limit, whose
+	// final-record Skip clamp would diverge from the raw stream.
+	ref := NewGenerator(w.Program())
+	want := make([]trace.Record, 2000)
+	for i := range want {
+		if !ref.Next(&want[i]) {
+			t.Fatal("infinite generator ended")
+		}
+	}
+	g := NewGenerator(w.Program())
+	buf := make([]trace.Record, 37) // misaligned with kernel-call sizes
+	var got []trace.Record
+	for len(got) < len(want) {
+		n := g.NextBlock(buf)
+		if n != len(buf) {
+			t.Fatalf("infinite generator returned short block %d", n)
+		}
+		got = append(got, buf[:n]...)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs: block %+v vs next %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestGeneratorResetRestarts(t *testing.T) {
 	w := ByName("osmix-000")
 	src := w.Source()
