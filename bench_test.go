@@ -219,6 +219,18 @@ func BenchmarkCHiRPSignature(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkHistoriesPush is the O(1) per-event kernel alone: one path
+// push plus one branch push with their incremental fold updates —
+// the work CHiRP's OnAccess/OnBranch add beyond the signature hash.
+func BenchmarkHistoriesPush(b *testing.B) {
+	h := core.NewHistories(core.DefaultHistoryConfig())
+	for i := 0; i < b.N; i++ {
+		h.PushAccess(uint64(i) << 2)
+		h.PushCond(uint64(i) << 4)
+	}
+	_ = h.Path()
+}
+
 func BenchmarkTLBLookupHit(b *testing.B) {
 	tl, err := tlb.New(tlb.Config{Name: "b", Entries: 1024, Ways: 8, PageShift: 12}, policy.NewLRU())
 	if err != nil {
@@ -438,6 +450,35 @@ func BenchmarkSweepPolicies(b *testing.B) {
 		}
 		b.Run(set.name+"/direct", func(b *testing.B) { run(b, -1) })
 		b.Run(set.name+"/capture-replay", func(b *testing.B) { run(b, 0) })
+	}
+}
+
+// BenchmarkSweepWorkers measures multi-worker sweep scaling over the
+// capture+replay path: the full Figure 7 policy set across a suite
+// prefix, at increasing engine worker counts. Workers share each
+// workload's captured stream (single-flight capture, memoized decode
+// views), so scaling is limited only by the policy simulations
+// themselves.
+func BenchmarkSweepWorkers(b *testing.B) {
+	ws := workloads.SuiteN(8)
+	cfg := sim.DefaultTLBOnlyConfig(400_000)
+	pols, err := sim.Factories([]string{"lru", "random", "srrip", "ship", "ghrp", "chirp"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := sim.RunSuiteTLBOnlyCtx(context.Background(), ws, pols, cfg,
+					sim.SuiteOptions{Workers: workers, StreamBudget: 0})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rs) != len(ws)*len(pols) {
+					b.Fatalf("got %d results", len(rs))
+				}
+			}
+		})
 	}
 }
 

@@ -44,6 +44,7 @@ func run() int {
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file: completed (workload, policy) runs are restored from it and new ones appended, so a killed sweep resumes where it stopped")
 	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 10s; 0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	// Ctrl-C / SIGTERM stop dispatching new simulations, drain the
@@ -51,14 +52,16 @@ func run() int {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	if *cpuprofile != "" {
-		stopProf, err := engine.StartCPUProfile(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "chirpexp: %v\n", err)
-			return 1
-		}
-		defer stopProf()
+	stopProf, err := engine.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chirpexp: %v\n", err)
+		return 1
 	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "chirpexp: %v\n", err)
+		}
+	}()
 
 	o := experiments.Options{
 		Workloads:    *n,

@@ -45,6 +45,7 @@ func run() int {
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; completed policies are restored, not re-run")
 	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *describe {
@@ -105,14 +106,16 @@ func run() int {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	if *cpuprofile != "" {
-		stopProf, err := engine.StartCPUProfile(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
-			return 1
-		}
-		defer stopProf()
+	stopProf, err := engine.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
+		return 1
 	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
+		}
+	}()
 	cfg := engine.Config{Workers: *workers}
 	if *progress > 0 {
 		cfg.Sink = engine.NewReporter(os.Stderr, *progress)

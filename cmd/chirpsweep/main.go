@@ -40,19 +40,22 @@ func run() int {
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; a killed sweep resumes where it stopped")
 	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	if *cpuprofile != "" {
-		stopProf, err := engine.StartCPUProfile(*cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
-			return 1
-		}
-		defer stopProf()
+	stopProf, err := engine.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
+		return 1
 	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
+		}
+	}()
 	opts := sim.SuiteOptions{Workers: *workers}
 	if *l2cache >= 0 {
 		// Sweep points vary only the L2 policy and geometry, which the

@@ -5,6 +5,8 @@
 // the indirect-branch address history (paper §IV, Figure 5).
 package core
 
+import "math/bits"
+
 // histReg is a conceptual shift-register history of fixed-width
 // elements, folded to 64 bits.
 //
@@ -16,10 +18,26 @@ package core
 // Longer histories (the Figure 2 sweep) are folded: the conceptual
 // long register is XOR-folded into 64-bit chunks, the standard
 // hardware trick for long branch histories.
+//
+// The folded value is maintained incrementally: because width divides
+// 64, every element occupies an aligned lane [off, off+width) that
+// never straddles the 64-bit boundary, so ageing the whole history by
+// one element is a rotate-left of the fold by width bits, after which
+// the expired oldest element sits at lane (length·width) mod 64 and
+// can be XOR-cancelled while the new element XORs into lane 0:
+//
+//	fold' = rotl64(fold, width) ^ (oldest << outShift) ^ newest
+//
+// This is what the paper's hardware does in registers each event;
+// fold() is thereby a field read instead of an O(length) walk. The
+// ring is kept as the reference state for snapshot/restore and for
+// the equivalence tests against foldSlow.
 type histReg struct {
-	ring  []uint64 // most recent at (pos-1+len)%len
-	pos   int
-	width uint // bits per element; must divide 64
+	ring     []uint64 // most recent at (pos-1+len)%len
+	pos      int
+	width    uint   // bits per element; must divide 64
+	fold64   uint64 // incrementally maintained fold()
+	outShift uint   // (len(ring)·width) mod 64: expired element's lane
 }
 
 // newHistReg builds a history of length elements of width bits each.
@@ -30,12 +48,19 @@ func newHistReg(length int, width uint) *histReg {
 	if width == 0 || 64%width != 0 {
 		panic("core: history element width must divide 64")
 	}
-	return &histReg{ring: make([]uint64, length), width: width}
+	return &histReg{
+		ring:     make([]uint64, length),
+		width:    width,
+		outShift: uint(length) * width % 64,
+	}
 }
 
-// push shifts a new element into the history, ageing the rest.
+// push shifts a new element into the history, ageing the rest and
+// updating the cached fold in O(1).
 func (h *histReg) push(v uint64) {
-	h.ring[h.pos] = v & (1<<h.width - 1)
+	v &= 1<<h.width - 1
+	h.fold64 = bits.RotateLeft64(h.fold64, int(h.width)) ^ h.ring[h.pos]<<h.outShift ^ v
+	h.ring[h.pos] = v
 	h.pos++
 	if h.pos == len(h.ring) {
 		h.pos = 0
@@ -43,8 +68,13 @@ func (h *histReg) push(v uint64) {
 }
 
 // fold returns the 64-bit folded value of the conceptual register:
-// element of age j sits at bit offset (j·width) mod 64.
-func (h *histReg) fold() uint64 {
+// element of age j sits at bit offset (j·width) mod 64. It is a field
+// read; foldSlow is the reference recomputation.
+func (h *histReg) fold() uint64 { return h.fold64 }
+
+// foldSlow recomputes the fold by walking the ring — the reference
+// implementation the incremental fold is property-tested against.
+func (h *histReg) foldSlow() uint64 {
 	var f uint64
 	off := uint(0)
 	idx := h.pos // walk from newest (pos-1) backwards
@@ -68,23 +98,40 @@ func (h *histReg) reset() {
 		h.ring[i] = 0
 	}
 	h.pos = 0
+	h.fold64 = 0
 }
 
-// snapshot and restore support speculative checkpointing.
+// snapshot and restore support speculative checkpointing. snapshot
+// allocates a fresh buffer; snapshotInto reuses the destination's.
 func (h *histReg) snapshot() histSnapshot {
-	s := histSnapshot{pos: h.pos, ring: make([]uint64, len(h.ring))}
-	copy(s.ring, h.ring)
+	var s histSnapshot
+	h.snapshotInto(&s)
 	return s
+}
+
+// snapshotInto overwrites s with the current state, reusing s.ring
+// when it has capacity — the allocation-free path the pipeline's
+// per-branch speculative checkpointing uses.
+func (h *histReg) snapshotInto(s *histSnapshot) {
+	if cap(s.ring) < len(h.ring) {
+		s.ring = make([]uint64, len(h.ring))
+	}
+	s.ring = s.ring[:len(h.ring)]
+	copy(s.ring, h.ring)
+	s.pos = h.pos
+	s.fold64 = h.fold64
 }
 
 func (h *histReg) restore(s histSnapshot) {
 	h.pos = s.pos
+	h.fold64 = s.fold64
 	copy(h.ring, s.ring)
 }
 
 type histSnapshot struct {
-	ring []uint64
-	pos  int
+	ring   []uint64
+	pos    int
+	fold64 uint64
 }
 
 // Histories bundles CHiRP's three control-flow history registers
@@ -170,13 +217,22 @@ func (h *Histories) Reset() {
 }
 
 // Snapshot captures the complete history state for speculative
-// checkpointing.
+// checkpointing. It allocates fresh buffers; checkpoint-per-branch
+// callers should hold a HistoriesSnapshot and use SnapshotInto, which
+// reuses them.
 func (h *Histories) Snapshot() HistoriesSnapshot {
-	return HistoriesSnapshot{
-		path: h.path.snapshot(),
-		cond: h.cond.snapshot(),
-		ind:  h.ind.snapshot(),
-	}
+	var s HistoriesSnapshot
+	h.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto overwrites s with the current history state, reusing
+// s's ring buffers when they are already sized — zero allocations in
+// steady state.
+func (h *Histories) SnapshotInto(s *HistoriesSnapshot) {
+	h.path.snapshotInto(&s.path)
+	h.cond.snapshotInto(&s.cond)
+	h.ind.snapshotInto(&s.ind)
 }
 
 // Restore rewinds to a snapshot.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -35,6 +36,108 @@ func TestHistRegFoldMatchesNaive(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestHistRegIncrementalFoldMatchesReference pins the tentpole
+// invariant: the O(1) rotate-XOR fold maintained by push is
+// bit-identical to the reference ring walk (foldSlow) at every step
+// of a randomized push/snapshot/restore interleaving, across the
+// paper configuration (16×4, 8×8 — exactly 64-bit registers) and the
+// Figure 2 sweep lengths, including conceptual registers far past 64
+// bits (40×4 = 160 bits, 32×8 = 256 bits) where the XOR-folding
+// actually wraps.
+func TestHistRegIncrementalFoldMatchesReference(t *testing.T) {
+	configs := []struct {
+		length int
+		width  uint
+	}{
+		{16, 4}, {8, 8}, // paper: exactly 64-bit registers
+		{4, 4}, {8, 4}, {12, 4}, {24, 4}, {32, 4}, {40, 4}, // Fig. 2 path sweep
+		{2, 8}, {16, 8}, {32, 8}, // branch-history sweep, >64-bit conceptual
+		{7, 2}, {33, 2}, {64, 1}, // odd lengths, minimal width
+	}
+	rng := rand.New(rand.NewSource(0x5eed))
+	for _, cfg := range configs {
+		h := newHistReg(cfg.length, cfg.width)
+		var snaps []histSnapshot
+		for step := 0; step < 800; step++ {
+			switch rng.Intn(10) {
+			case 0:
+				snaps = append(snaps, h.snapshot())
+			case 1:
+				if len(snaps) > 0 {
+					h.restore(snaps[rng.Intn(len(snaps))])
+				}
+			case 2:
+				if step%97 == 0 {
+					h.reset()
+				} else {
+					h.push(rng.Uint64())
+				}
+			default:
+				h.push(rng.Uint64())
+			}
+			if got, want := h.fold(), h.foldSlow(); got != want {
+				t.Fatalf("len=%d width=%d step %d: incremental fold %#x != reference %#x",
+					cfg.length, cfg.width, step, got, want)
+			}
+		}
+	}
+}
+
+// TestHistoriesSnapshotIntoAllocFree pins the checkpointing satellite:
+// steady-state SnapshotInto and DualHistory.Squash must not allocate.
+func TestHistoriesSnapshotIntoAllocFree(t *testing.T) {
+	h := NewHistories(DefaultHistoryConfig())
+	var snap HistoriesSnapshot
+	h.SnapshotInto(&snap) // first call sizes the buffers
+	if allocs := testing.AllocsPerRun(100, func() {
+		h.PushAccess(0x40)
+		h.PushCond(0x80)
+		h.SnapshotInto(&snap)
+		h.Restore(snap)
+	}); allocs != 0 {
+		t.Errorf("SnapshotInto/Restore allocated %.1f objects per checkpoint, want 0", allocs)
+	}
+
+	d := NewDualHistory(DefaultHistoryConfig())
+	d.Squash() // first squash sizes the scratch snapshot
+	if allocs := testing.AllocsPerRun(100, func() {
+		d.SpeculateCond(0x40)
+		d.SpeculateAccess(0x80)
+		d.Squash()
+	}); allocs != 0 {
+		t.Errorf("Squash allocated %.1f objects per misprediction, want 0", allocs)
+	}
+}
+
+// TestSnapshotIntoMatchesSnapshot: the reusing path and the allocating
+// path must capture identical state, including after a shrink-resize
+// pattern (restoring a snapshot taken from a differently-sized
+// history is not supported; reuse within one history is).
+func TestSnapshotIntoMatchesSnapshot(t *testing.T) {
+	h := NewHistories(HistoryConfig{PathLength: 24, PathLeadingZeros: true, BranchLength: 16})
+	var reused HistoriesSnapshot
+	for i := uint64(0); i < 100; i++ {
+		h.PushAccess(i << 2)
+		if i%3 == 0 {
+			h.PushCond(i << 4)
+		}
+		if i%7 == 0 {
+			h.PushIndirect(i << 4)
+		}
+		fresh := h.Snapshot()
+		h.SnapshotInto(&reused)
+		other := NewHistories(HistoryConfig{PathLength: 24, PathLeadingZeros: true, BranchLength: 16})
+		other.Restore(reused)
+		if other.Path() != h.Path() || other.Cond() != h.Cond() || other.Indirect() != h.Indirect() {
+			t.Fatalf("step %d: SnapshotInto state diverged from live history", i)
+		}
+		other.Restore(fresh)
+		if other.Path() != h.Path() || other.Cond() != h.Cond() || other.Indirect() != h.Indirect() {
+			t.Fatalf("step %d: Snapshot state diverged from live history", i)
+		}
 	}
 }
 

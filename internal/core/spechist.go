@@ -12,6 +12,10 @@ package core
 type DualHistory struct {
 	spec *Histories
 	arch *Histories
+	// scratch is the reusable checkpoint buffer Squash copies the
+	// architectural state through, so a squash allocates nothing after
+	// the first (mispredictions are frequent enough to care).
+	scratch HistoriesSnapshot
 }
 
 // NewDualHistory builds speculative and architectural history copies
@@ -50,5 +54,9 @@ func (d *DualHistory) CommitIndirect(pc uint64) { d.arch.PushIndirect(pc) }
 func (d *DualHistory) CommitAccess(pc uint64) { d.arch.PushAccess(pc) }
 
 // Squash rewinds the speculative copy to the architectural state, as
-// happens on a branch misprediction.
-func (d *DualHistory) Squash() { d.spec.Restore(d.arch.Snapshot()) }
+// happens on a branch misprediction. It reuses a scratch snapshot, so
+// steady-state squashes are allocation-free.
+func (d *DualHistory) Squash() {
+	d.arch.SnapshotInto(&d.scratch)
+	d.spec.Restore(d.scratch)
+}

@@ -9,9 +9,10 @@ import (
 
 // CaptureOptions bounds a capture.
 type CaptureOptions struct {
-	// MaxBytes caps the in-memory encoded stream; a capture that would
-	// exceed it restarts and spills the raw record prefix to a CHTR file
-	// instead. <= 0 means unlimited (never spill).
+	// MaxBytes caps the in-memory stream footprint — the encoded buffer
+	// plus the decoded views capture materializes (Stream.FootprintBytes);
+	// a capture that would exceed it restarts and spills the raw record
+	// prefix to a CHTR file instead. <= 0 means unlimited (never spill).
 	MaxBytes int64
 	// SpillDir is where spill files are created ("" = the OS temp dir).
 	SpillDir string
@@ -156,11 +157,11 @@ loop:
 				break loop
 			}
 		}
-		if maxBytes > 0 && int64(len(enc.buf)) > maxBytes {
+		if maxBytes > 0 && footprint(&enc, s) > maxBytes {
 			return nil, true, nil
 		}
 	}
-	if maxBytes > 0 && int64(len(enc.buf)) > maxBytes {
+	if maxBytes > 0 && footprint(&enc, s) > maxBytes {
 		return nil, true, nil
 	}
 
@@ -171,4 +172,14 @@ loop:
 	}
 	s.buf = enc.buf
 	return s, false, nil
+}
+
+// footprint mirrors Stream.FootprintBytes for an in-flight capture:
+// the encoded bytes plus both decoded views replays will memoize, at
+// their accounted per-event size. Checking the full footprint (not
+// just the encoded buffer) against MaxBytes matches what the cache
+// later charges the stream against, so a capture that could never be
+// held within budget spills instead of thrashing the cache.
+func footprint(enc *encoder, s *Stream) int64 {
+	return int64(len(enc.buf)) + int64(s.events+s.accesses+1)*eventBytes
 }

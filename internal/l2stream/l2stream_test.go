@@ -358,6 +358,121 @@ func TestDecodeAllMatchesNext(t *testing.T) {
 	}
 }
 
+// TestDecodeAccessesMatchesFilteredDecodeAll: the branch-free view
+// must be exactly the full view with branch events removed — same
+// order, same PCs, same VPNs, same warmup position.
+func TestDecodeAccessesMatchesFilteredDecodeAll(t *testing.T) {
+	recs := testRecords(5000)
+	cfg := testConfig(8000)
+	s, err := Capture(trace.NewSliceSource(recs), cfg, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := s.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Event
+	for _, ev := range full {
+		if ev.Kind != EventBranch {
+			want = append(want, ev)
+		}
+	}
+	got, err := s.DecodeAccesses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("DecodeAccesses returned %d events, filtered DecodeAll %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: DecodeAccesses %+v, filtered %+v", i, got[i], want[i])
+		}
+	}
+	// The view is memoized: a second call returns the same slice.
+	again, err := s.DecodeAccesses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &got[0] {
+		t.Error("DecodeAccesses re-decoded instead of returning the memoized slice")
+	}
+	// Both memoized views fit the accounted footprint.
+	if fp := s.FootprintBytes(); fp < int64(len(s.buf))+int64(len(full)+len(got))*eventBytes {
+		t.Errorf("FootprintBytes %d undercounts buf+both views", fp)
+	}
+	// A stream reconstructed without the capture-built views (the shape
+	// a spill reload produces) must varint-decode both views to slices
+	// identical to the eager ones.
+	cold := freshView(s)
+	coldFull, err := cold.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coldFull) != len(full) {
+		t.Fatalf("cold DecodeAll returned %d events, eager %d", len(coldFull), len(full))
+	}
+	for i := range full {
+		if coldFull[i] != full[i] {
+			t.Fatalf("event %d: cold DecodeAll %+v, eager %+v", i, coldFull[i], full[i])
+		}
+	}
+	coldAcc, err := cold.DecodeAccesses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coldAcc) != len(got) {
+		t.Fatalf("cold DecodeAccesses returned %d events, eager %d", len(coldAcc), len(got))
+	}
+	for i := range got {
+		if coldAcc[i] != got[i] {
+			t.Fatalf("event %d: cold DecodeAccesses %+v, eager %+v", i, coldAcc[i], got[i])
+		}
+	}
+}
+
+// TestDecodeViewsSingleFlight hammers both memoizations from many
+// goroutines; under -race this is the regression test for sharing one
+// stream across engine workers, and each view must come back as the
+// same materialized slice for every caller.
+func TestDecodeViewsSingleFlight(t *testing.T) {
+	recs := testRecords(4000)
+	cfg := testConfig(6000)
+	s, err := Capture(trace.NewSliceSource(recs), cfg, CaptureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	fulls := make([][]Event, workers)
+	accs := make([][]Event, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Alternate which view each goroutine touches first.
+			if i%2 == 0 {
+				fulls[i], _ = s.DecodeAll()
+				accs[i], _ = s.DecodeAccesses()
+			} else {
+				accs[i], _ = s.DecodeAccesses()
+				fulls[i], _ = s.DecodeAll()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if len(fulls[i]) == 0 || &fulls[i][0] != &fulls[0][0] {
+			t.Fatalf("goroutine %d got a different DecodeAll slice", i)
+		}
+		if len(accs[i]) == 0 || &accs[i][0] != &accs[0][0] {
+			t.Fatalf("goroutine %d got a different DecodeAccesses slice", i)
+		}
+	}
+}
+
 func TestDecoderRejectsGarbage(t *testing.T) {
 	d := &Decoder{buf: []byte{0x07, 0xff}, pageShift: 12} // kind 7 unused
 	var ev Event
@@ -372,4 +487,46 @@ func TestDecoderRejectsGarbage(t *testing.T) {
 	if d.Next(&ev) || d.Err() == nil {
 		t.Fatal("decoder must reject a truncated varint")
 	}
+}
+
+// freshView returns a Stream sharing s's encoded buffer but with its
+// own decode memos, so benchmarks can measure a cold decode per
+// iteration without re-capturing.
+func freshView(s *Stream) *Stream {
+	return &Stream{
+		cfg: s.cfg, buf: s.buf,
+		records: s.records, instructions: s.instructions,
+		events: s.events, accesses: s.accesses,
+		warmed: s.warmed, warmupAt: s.warmupAt, warmInstrAt: s.warmInstrAt,
+		l1iMisses: s.l1iMisses, l1dMisses: s.l1dMisses,
+	}
+}
+
+// BenchmarkDecodeViews compares a cold decode of the full event view
+// against the branch-free access view non-observer policies replay.
+func BenchmarkDecodeViews(b *testing.B) {
+	recs := testRecords(200000)
+	cfg := testConfig(0)
+	s, err := Capture(trace.NewSliceSource(recs), cfg, CaptureOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			evs, err := freshView(s).DecodeAll()
+			if err != nil || uint64(len(evs)) != s.Events() {
+				b.Fatalf("decoded %d events (%v)", len(evs), err)
+			}
+		}
+		b.ReportMetric(float64(s.Events())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+	})
+	b.Run("accesses", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			evs, err := freshView(s).DecodeAccesses()
+			if err != nil || uint64(len(evs)) < s.Accesses() {
+				b.Fatalf("decoded %d events (%v)", len(evs), err)
+			}
+		}
+		b.ReportMetric(float64(s.Accesses())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Maccesses/s")
+	})
 }

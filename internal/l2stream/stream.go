@@ -269,6 +269,19 @@ func (d *Decoder) NextBlock(evs []Event) int {
 	return n
 }
 
+// skipVarint advances past one varint without decoding its value —
+// the cheap path for payloads the access-only view discards (branch
+// target deltas).
+func skipVarint(buf []byte, pos int) (int, bool) {
+	for pos < len(buf) {
+		if buf[pos] < 0x80 {
+			return pos + 1, true
+		}
+		pos++
+	}
+	return pos, false
+}
+
 // decodeVarint is binary.Varint open-coded against (buf, pos): no
 // subslice construction per call, and a branch-light fast path for the
 // one- and two-byte encodings that dominate delta streams.
@@ -330,6 +343,14 @@ type Stream struct {
 	decodeOnce sync.Once
 	decoded    []Event // memoized DecodeAll result
 	decodeErr  error
+
+	// Second memoized view: access + warmup events only, for the
+	// policies that do not observe branches. Like decoded it is
+	// materialized single-flight (sync.Once) so concurrent replays of
+	// one stream from different engine workers share one decode.
+	accOnce sync.Once
+	accEvts []Event
+	accErr  error
 
 	spillPath string
 
@@ -426,11 +447,85 @@ func (s *Stream) DecodeAll() ([]Event, error) {
 	return s.decoded, s.decodeErr
 }
 
+// DecodeAccesses returns the stream's access-and-warmup event
+// subsequence — the branch-free view non-BranchObserver policies
+// replay over, skipping the branch events they would discard (branch
+// events outnumber L2 demand accesses by an order of magnitude on
+// branchy workloads). The slice is decoded directly from the encoded
+// buffer on first use (branch PC deltas are consumed to keep the
+// delta chain intact, target deltas are skipped undecoded), memoized
+// single-flight, shared between callers and MUST be treated as
+// read-only. Like DecodeAll, it panics on spilled streams.
+func (s *Stream) DecodeAccesses() ([]Event, error) {
+	if s.Spilled() {
+		panic("l2stream: DecodeAccesses on a spilled stream; replay the spill file instead")
+	}
+	s.accOnce.Do(func() {
+		n := s.accesses
+		if s.warmed && s.warmupAt > 0 {
+			n++ // the warmup marker survives into the filtered view
+		}
+		evs := make([]Event, 0, n)
+		buf := s.buf
+		shift := s.cfg.PageShift
+		var lastPC, lastVPN uint64
+		pos := 0
+		for pos < len(buf) {
+			tag := buf[pos]
+			pos++
+			kind := tag & wireKindMask
+			if kind == wireWarmup {
+				evs = append(evs, Event{Kind: EventWarmup})
+				continue
+			}
+			delta, p, ok := decodeVarint(buf, pos)
+			if !ok {
+				s.accErr = fmt.Errorf("l2stream: corrupt stream: truncated varint at offset %d", pos)
+				return
+			}
+			pos = p
+			lastPC += uint64(delta)
+			switch kind {
+			case wireInstrAccess:
+				evs = append(evs, Event{Kind: EventInstrAccess, PC: lastPC, VPN: lastPC >> shift})
+			case wireDataAccess:
+				delta, p, ok = decodeVarint(buf, pos)
+				if !ok {
+					s.accErr = fmt.Errorf("l2stream: corrupt stream: truncated varint at offset %d", pos)
+					return
+				}
+				pos = p
+				lastVPN += uint64(delta)
+				evs = append(evs, Event{Kind: EventDataAccess, PC: lastPC, VPN: lastVPN})
+			case wireCondBranch, wireDirBranch, wireIndBranch:
+				// The branch PC delta above kept the chain intact; the
+				// target delta carries no cross-event state, so skip it.
+				if pos, ok = skipVarint(buf, pos); !ok {
+					s.accErr = fmt.Errorf("l2stream: corrupt stream: truncated varint at offset %d", pos)
+					return
+				}
+			default:
+				s.accErr = fmt.Errorf("l2stream: corrupt stream: unknown event kind %d at offset %d", kind, pos-1)
+				return
+			}
+		}
+		if uint64(len(evs)) != n {
+			s.accErr = fmt.Errorf("l2stream: corrupt stream: decoded %d of %d access events", len(evs), n)
+			return
+		}
+		s.accEvts = evs
+	})
+	return s.accEvts, s.accErr
+}
+
 // FootprintBytes is the stream's total in-memory cost: the encoded
-// buffer plus the decoded event slice replays memoize via DecodeAll.
-// The cache accounts this, not just MemBytes, against its budget.
+// buffer plus both decoded views replays memoize (the full DecodeAll
+// slice and the branch-free DecodeAccesses slice), accounted at their
+// materialized size even before first decode so cache eviction never
+// undercounts. The cache accounts this, not just MemBytes, against
+// its budget.
 func (s *Stream) FootprintBytes() int64 {
-	return int64(len(s.buf)) + int64(s.events)*eventBytes
+	return int64(len(s.buf)) + int64(s.events)*eventBytes + int64(s.accesses+1)*eventBytes
 }
 
 // Close releases the stream's spill file, if any. In-memory streams

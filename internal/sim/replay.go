@@ -79,17 +79,30 @@ func ReplayTLBOnly(stream *l2stream.Stream, l2p tlb.Policy, cfg TLBOnlyConfig) (
 
 	// One decode per stream, shared across the policy fan-out: the
 	// first replay materializes the event slice, the rest iterate it.
-	evs, err := stream.DecodeAll()
-	if err != nil {
-		return TLBOnlyResult{}, err
+	// Policies that do not observe branches replay the branch-free
+	// access view, so they never touch the branch events they would
+	// discard (both views are memoized single-flight on the stream).
+	var evs []l2stream.Event
+	var err2 error
+	if observesBranches {
+		evs, err2 = stream.DecodeAll()
+	} else {
+		evs, err2 = stream.DecodeAccesses()
 	}
+	if err2 != nil {
+		return TLBOnlyResult{}, err2
+	}
+	// The per-event Access structs are hoisted out of the loop: they
+	// escape into the policy interface calls, and a loop-local struct
+	// would heap-allocate once per event.
+	var a2, pa tlb.Access
 	var warmStats tlb.Stats
 	for i := range evs {
 		ev := &evs[i]
 		switch ev.Kind {
 		case l2stream.EventInstrAccess, l2stream.EventDataAccess:
 			instr := ev.Kind == l2stream.EventInstrAccess
-			a2 := tlb.Access{PC: ev.PC, VPN: ev.VPN, Instr: instr}
+			a2 = tlb.Access{PC: ev.PC, VPN: ev.VPN, Instr: instr}
 			if _, hit := l2.Lookup(&a2); !hit {
 				l2.Insert(&a2, ev.VPN)
 			}
@@ -100,7 +113,7 @@ func ReplayTLBOnly(stream *l2stream.Stream, l2p tlb.Policy, cfg TLBOnlyConfig) (
 					if l2.Contains(pv) {
 						continue
 					}
-					pa := tlb.Access{PC: ev.PC, VPN: pv, Instr: instr}
+					pa = tlb.Access{PC: ev.PC, VPN: pv, Instr: instr}
 					l2.InsertPrefetch(&pa, pv)
 				}
 			}
@@ -152,7 +165,10 @@ func StreamVPNs(stream *l2stream.Stream, cfg TLBOnlyConfig) ([]uint64, error) {
 		defer fs.Close()
 		return CollectL2Stream(fs, cfg)
 	}
-	evs, err := stream.DecodeAll()
+	// The branch-free view is exactly the access sequence (plus the
+	// warmup marker), and it is the memo the OPT oracle's policy-side
+	// replays share.
+	evs, err := stream.DecodeAccesses()
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/chirplab/chirp/internal/l2stream"
@@ -62,6 +63,66 @@ func TestReplayEquivalence(t *testing.T) {
 						wname, pname, pd, direct, replayed)
 				}
 			}
+		}
+	}
+}
+
+// TestPolicyParallelReplay replays one shared stream under every
+// registered policy from concurrent goroutines — the exact shape a
+// Workers>1 engine sweep produces — and checks each result against a
+// serial replay of the same pair. Under -race this also proves the
+// two decode memoizations (full and branch-free view) are safe to
+// materialize concurrently from both observer and non-observer
+// policies.
+func TestPolicyParallelReplay(t *testing.T) {
+	cfg := DefaultTLBOnlyConfig(300000)
+	stream := captureFor(t, "db-003", cfg)
+	defer stream.Close()
+
+	names := PolicyNames()
+	const rounds = 3 // several replays per policy race against each other too
+	type cell struct {
+		name string
+		res  TLBOnlyResult
+		err  error
+	}
+	results := make([]cell, len(names)*rounds)
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for i, name := range names {
+			idx := r*len(names) + i
+			name := name
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pol, err := NewPolicy(name)
+				if err == nil {
+					results[idx].res, err = ReplayTLBOnly(stream, pol, cfg)
+				}
+				results[idx].name, results[idx].err = name, err
+			}()
+		}
+	}
+	wg.Wait()
+	serial := map[string]TLBOnlyResult{}
+	for _, name := range names {
+		pol, err := NewPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[name], err = ReplayTLBOnly(stream, pol, cfg)
+		if err != nil {
+			t.Fatalf("%s serial replay: %v", name, err)
+		}
+	}
+	for _, c := range results {
+		if c.err != nil {
+			t.Errorf("%s parallel replay: %v", c.name, c.err)
+			continue
+		}
+		if c.res != serial[c.name] {
+			t.Errorf("%s: parallel replay diverged from serial\n parallel: %+v\n serial:   %+v",
+				c.name, c.res, serial[c.name])
 		}
 	}
 }

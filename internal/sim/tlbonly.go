@@ -114,12 +114,18 @@ func RunTLBOnly(src trace.Source, l2p tlb.Policy, cfg TLBOnlyConfig) (TLBOnlyRes
 	if cfg.PrefetchDistance > 0 {
 		pf = newStridePrefetcher(cfg.PrefetchDistance)
 	}
+	// The Access structs escape into the policy interface calls;
+	// declaring them per call would heap-allocate once per record, so
+	// the closure reuses three hoisted structs instead (the L1 access
+	// keeps its own because l1.Insert needs the L1 set index after the
+	// L2 path overwrote a2's).
+	var a, a2, pa tlb.Access
 	access := func(l1 *tlb.TLB, pc, vpn uint64, instr bool) {
-		a := tlb.Access{PC: pc, VPN: vpn, Instr: instr}
+		a = tlb.Access{PC: pc, VPN: vpn, Instr: instr}
 		if _, hit := l1.Lookup(&a); hit {
 			return
 		}
-		a2 := tlb.Access{PC: pc, VPN: vpn, Instr: instr}
+		a2 = tlb.Access{PC: pc, VPN: vpn, Instr: instr}
 		if _, hit := l2.Lookup(&a2); !hit {
 			// Page walk; identity translation suffices for MPKI runs.
 			l2.Insert(&a2, vpn)
@@ -136,7 +142,7 @@ func RunTLBOnly(src trace.Source, l2p tlb.Policy, cfg TLBOnlyConfig) (TLBOnlyRes
 				if l2.Contains(pv) {
 					continue
 				}
-				pa := tlb.Access{PC: pc, VPN: pv, Instr: instr}
+				pa = tlb.Access{PC: pc, VPN: pv, Instr: instr}
 				l2.InsertPrefetch(&pa, pv)
 			}
 		}
@@ -214,8 +220,9 @@ func CollectL2Stream(src trace.Source, cfg TLBOnlyConfig) ([]uint64, error) {
 		instructions uint64
 		rec          trace.Record
 	)
+	var a tlb.Access
 	access := func(l1 *tlb.TLB, pc, vpn uint64, instr bool) {
-		a := tlb.Access{PC: pc, VPN: vpn, Instr: instr}
+		a = tlb.Access{PC: pc, VPN: vpn, Instr: instr}
 		if _, hit := l1.Lookup(&a); hit {
 			return
 		}

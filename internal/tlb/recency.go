@@ -1,5 +1,7 @@
 package tlb
 
+import "math/bits"
+
 // Recency tracks exact LRU stack positions for every set of a
 // set-associative structure. Several policies share it: true-LRU uses
 // it directly, and the predictive policies (SHiP, GHRP, CHiRP) fall
@@ -8,10 +10,22 @@ package tlb
 // exactly this stack.
 //
 // Position 0 is most recently used; ways-1 is least recently used.
+//
+// For the common geometries (ways <= 8, which covers every TLB in the
+// paper) a set's whole stack packs into one uint64 — byte w holds way
+// w's position — and Touch/LRU run as a handful of branch-free SWAR
+// operations instead of a way-indexed loop. Wider sets fall back to
+// the byte-array walk.
 type Recency struct {
 	ways int
-	pos  []uint8 // sets × ways stack positions
+	pos  []uint8  // ways > 8: sets × ways stack positions
+	word []uint64 // ways <= 8: one packed stack per set
 }
+
+const (
+	recencyOnes = 0x0101010101010101
+	recencyHigh = 0x8080808080808080
+)
 
 // NewRecency builds a recency stack for sets × ways entries, each set
 // initialised to the identity stack (way i at position i).
@@ -19,7 +33,27 @@ func NewRecency(sets, ways int) *Recency {
 	if ways > 255 {
 		panic("tlb: Recency supports at most 255 ways")
 	}
-	r := &Recency{ways: ways, pos: make([]uint8, sets*ways)}
+	r := &Recency{ways: ways}
+	if ways <= 8 {
+		// Unused high lanes are parked at 0xFF: always >= any real
+		// position, so Touch never increments them and LRU (which looks
+		// for the exact position ways-1) never selects them.
+		init := uint64(0)
+		for w := 7; w >= 0; w-- {
+			init <<= 8
+			if w < ways {
+				init |= uint64(w)
+			} else {
+				init |= 0xFF
+			}
+		}
+		r.word = make([]uint64, sets)
+		for s := range r.word {
+			r.word[s] = init
+		}
+		return r
+	}
+	r.pos = make([]uint8, sets*ways)
 	for s := 0; s < sets; s++ {
 		for w := 0; w < ways; w++ {
 			r.pos[s*ways+w] = uint8(w)
@@ -30,6 +64,20 @@ func NewRecency(sets, ways int) *Recency {
 
 // Touch moves way to the MRU position of set.
 func (r *Recency) Touch(set uint32, way int) {
+	if r.word != nil {
+		x := r.word[set]
+		sh := uint(way) * 8
+		p := (x >> sh) & 0xFF
+		// Per-byte unsigned compare: positions are < 0x80, so after
+		// OR-ing in the high bits no byte subtraction borrows into its
+		// neighbour, and a clear high bit marks position < p. Every way
+		// closer to MRU than the touched one ages by a stack slot.
+		lt := ^((x | recencyHigh) - p*recencyOnes) & recencyHigh
+		x += lt >> 7
+		x &^= 0xFF << sh // touched way to position 0
+		r.word[set] = x
+		return
+	}
 	base := int(set) * r.ways
 	p := r.pos[base+way]
 	for w := 0; w < r.ways; w++ {
@@ -42,6 +90,14 @@ func (r *Recency) Touch(set uint32, way int) {
 
 // LRU returns the way currently at the least-recently-used position.
 func (r *Recency) LRU(set uint32) int {
+	if r.word != nil {
+		// Positions form a permutation of 0..ways-1, so exactly one
+		// byte holds ways-1; XOR turns it into the word's only zero
+		// byte and the zero-byte trick locates it.
+		x := r.word[set] ^ uint64(r.ways-1)*recencyOnes
+		z := (x - recencyOnes) & ^x & recencyHigh
+		return bits.TrailingZeros64(z) >> 3
+	}
 	base := int(set) * r.ways
 	worst, at := uint8(0), 0
 	for w := 0; w < r.ways; w++ {
@@ -54,5 +110,8 @@ func (r *Recency) LRU(set uint32) int {
 
 // Position returns way's current stack position (0 = MRU).
 func (r *Recency) Position(set uint32, way int) int {
+	if r.word != nil {
+		return int((r.word[set] >> (uint(way) * 8)) & 0xFF)
+	}
 	return int(r.pos[int(set)*r.ways+way])
 }

@@ -168,8 +168,10 @@ type TLB struct {
 	cfg     Config
 	policy  Policy
 	sets    int
+	ways    int
 	setMask uint64
 	entries []entry // sets × ways, row-major
+	live    []uint16 // per-set valid-entry count; == ways means no invalid way
 	stats   Stats
 	now     uint64 // monotonically increasing access time
 }
@@ -188,8 +190,10 @@ func New(cfg Config, p Policy) (*TLB, error) {
 		cfg:     cfg,
 		policy:  p,
 		sets:    sets,
+		ways:    cfg.Ways,
 		setMask: uint64(sets - 1),
 		entries: make([]entry, cfg.Entries),
+		live:    make([]uint16, sets),
 	}
 	p.Attach(sets, cfg.Ways)
 	return t, nil
@@ -221,9 +225,13 @@ func (t *TLB) Lookup(a *Access) (ppn uint64, hit bool) {
 	a.Set = t.SetIndex(a.VPN)
 	t.policy.OnAccess(a)
 
-	base := int(a.Set) * t.cfg.Ways
-	for w := 0; w < t.cfg.Ways; w++ {
-		e := &t.entries[base+w]
+	base := int(a.Set) * t.ways
+	// The subslice bounds the way scan so the loop body runs without
+	// per-iteration bounds checks — this is the hottest loop in a
+	// TLB-only simulation.
+	set := t.entries[base : base+t.ways]
+	for w := range set {
+		e := &set[w]
 		if e.valid && e.vpn == a.VPN && e.asid == a.ASID {
 			e.lastHit = t.now
 			t.stats.Hits++
@@ -245,23 +253,29 @@ func (t *TLB) Lookup(a *Access) (ppn uint64, hit bool) {
 // for a victim. It reports whether a valid entry was evicted and, if
 // so, its VPN.
 func (t *TLB) Insert(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
-	base := int(a.Set) * t.cfg.Ways
+	base := int(a.Set) * t.ways
 	way := -1
-	for w := 0; w < t.cfg.Ways; w++ {
-		if !t.entries[base+w].valid {
-			way = w
-			break
+	// Once a set has filled, it only empties again through a flush, so
+	// the steady-state fill path skips the invalid-way scan entirely.
+	if int(t.live[a.Set]) < t.ways {
+		for w := 0; w < t.ways; w++ {
+			if !t.entries[base+w].valid {
+				way = w
+				break
+			}
 		}
 	}
 	if way < 0 {
 		way = t.policy.Victim(a.Set, a)
-		if way < 0 || way >= t.cfg.Ways {
+		if way < 0 || way >= t.ways {
 			panic(fmt.Sprintf("tlb %q: policy %s returned invalid victim way %d", t.cfg.Name, t.policy.Name(), way))
 		}
 		e := &t.entries[base+way]
 		t.retire(e)
 		t.stats.Evictions++
 		evicted, evictedVPN = true, e.vpn
+	} else {
+		t.live[a.Set]++
 	}
 	e := &t.entries[base+way]
 	e.vpn, e.ppn, e.asid, e.valid = a.VPN, ppn, a.ASID, true
@@ -298,6 +312,9 @@ func (t *TLB) Flush() {
 			e.valid = false
 		}
 	}
+	for i := range t.live {
+		t.live[i] = 0
+	}
 }
 
 // FlushASID invalidates the entries belonging to one address space.
@@ -307,6 +324,7 @@ func (t *TLB) FlushASID(asid uint16) {
 		if e.valid && e.asid == asid {
 			t.retire(e)
 			e.valid = false
+			t.live[i/t.ways]--
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package tlb
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -357,5 +358,56 @@ func TestInsertPrefetchDrivesOnAccess(t *testing.T) {
 	hitA := Access{PC: 0x9000, VPN: 101}
 	if _, hit := tl.Lookup(&hitA); !hit {
 		t.Error("demand lookup missed the prefetched entry")
+	}
+}
+
+// TestRecencyMatchesReferenceModel drives random touch sequences
+// through every packed width (ways 1..8, the SWAR word path) and one
+// wide geometry (ways 16, the byte-walk path), checking Position and
+// LRU against a straightforward model of an exact LRU stack after
+// every touch.
+func TestRecencyMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	for ways := 1; ways <= 16; ways++ {
+		if ways > 8 && ways != 16 {
+			continue
+		}
+		const sets = 4
+		r := NewRecency(sets, ways)
+		// model[s][w] = stack position of way w, identity-initialised
+		// like NewRecency.
+		model := make([][]int, sets)
+		for s := range model {
+			model[s] = make([]int, ways)
+			for w := range model[s] {
+				model[s][w] = w
+			}
+		}
+		for step := 0; step < 2000; step++ {
+			s := uint32(rng.Intn(sets))
+			w := rng.Intn(ways)
+			r.Touch(s, w)
+			p := model[s][w]
+			for v := range model[s] {
+				if model[s][v] < p {
+					model[s][v]++
+				}
+			}
+			model[s][w] = 0
+			for v := range model[s] {
+				if got := r.Position(s, v); got != model[s][v] {
+					t.Fatalf("ways=%d step=%d: Position(%d,%d) = %d, model %d", ways, step, s, v, got, model[s][v])
+				}
+			}
+			wantLRU := 0
+			for v := range model[s] {
+				if model[s][v] == ways-1 {
+					wantLRU = v
+				}
+			}
+			if got := r.LRU(s); got != wantLRU {
+				t.Fatalf("ways=%d step=%d: LRU(%d) = %d, model %d", ways, step, s, got, wantLRU)
+			}
+		}
 	}
 }
