@@ -24,6 +24,7 @@ import (
 	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/experiments"
 	"github.com/chirplab/chirp/internal/l2stream"
+	"github.com/chirplab/chirp/internal/obs"
 )
 
 type runner struct {
@@ -42,6 +43,8 @@ func run() int {
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	l2cache := flag.Int64("l2cache", 0, "L2 event-stream cache budget in MiB, shared across the selected experiments (0 = 256 MiB default, negative = per-experiment caches only)")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file: completed (workload, policy) runs are restored from it and new ones appended, so a killed sweep resumes where it stopped")
+	metricsAddr := flag.String("metrics", "", "serve /metrics (Prometheus), /debug/vars (JSON) and /debug/pprof on this address (e.g. localhost:8080)")
+	manifest := flag.String("manifest", "", "append a JSONL run manifest (run identity + per-job metric deltas) to this file")
 	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (e.g. 10s; 0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -63,12 +66,42 @@ func run() int {
 		}
 	}()
 
+	// The same fingerprint guards the checkpoint and names the manifest
+	// run: resumed rows must be exchangeable with fresh ones. The
+	// experiment list is deliberately excluded: scopes already namespace
+	// per-experiment keys, so one file covers any subset of `-exp all`.
+	meta := fmt.Sprintf("chirpexp n=%d instr=%d penalty=%d", *n, *instr, *penalty)
+
+	if *metricsAddr != "" {
+		bound, stopMetrics, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpexp: %v\n", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "chirpexp: metrics on http://%s/metrics\n", bound)
+	}
+
 	o := experiments.Options{
 		Workloads:    *n,
 		Instructions: *instr,
 		WalkPenalty:  *penalty,
 		Workers:      *workers,
 		Ctx:          ctx,
+	}
+	var sinks []engine.Sink
+	if *manifest != "" {
+		man, err := obs.OpenManifest(*manifest, obs.Default, meta)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpexp: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := man.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "chirpexp: %v\n", err)
+			}
+		}()
+		sinks = append(sinks, engine.ManifestSink(man))
 	}
 	if *l2cache >= 0 {
 		// One shared stream cache means `-exp all` captures each
@@ -79,15 +112,12 @@ func run() int {
 		o.StreamCache = streams
 	}
 	if *progress > 0 {
-		o.Sink = engine.NewReporter(os.Stderr, *progress)
+		sinks = append(sinks, engine.NewReporter(os.Stderr, *progress))
+	}
+	if len(sinks) > 0 {
+		o.Sink = engine.MultiSink(sinks...)
 	}
 	if *checkpoint != "" {
-		// The meta fingerprint refuses a checkpoint recorded under other
-		// run parameters — resumed rows must be exchangeable with fresh
-		// ones. The experiment list is deliberately excluded: scopes
-		// already namespace per-experiment keys, so one file covers any
-		// subset of `-exp all`.
-		meta := fmt.Sprintf("chirpexp n=%d instr=%d penalty=%d", *n, *instr, *penalty)
 		ck, err := engine.Open(*checkpoint, meta)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chirpexp: %v\n", err)

@@ -20,6 +20,7 @@ import (
 
 	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/l2stream"
+	"github.com/chirplab/chirp/internal/obs"
 	"github.com/chirplab/chirp/internal/pipeline"
 	"github.com/chirplab/chirp/internal/policy"
 	"github.com/chirplab/chirp/internal/sim"
@@ -43,6 +44,8 @@ func run() int {
 	workers := flag.Int("workers", 0, "parallel policy runs (0 = GOMAXPROCS)")
 	l2cache := flag.Int64("l2cache", 0, "L2 event-stream cache budget in MiB for TLB-only runs: the trace is generated and L1-filtered once and replayed per policy (0 = 256 MiB default, negative = disable capture/replay)")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; completed policies are restored, not re-run")
+	metricsAddr := flag.String("metrics", "", "serve /metrics (Prometheus), /debug/vars (JSON) and /debug/pprof on this address (e.g. localhost:8080)")
+	manifest := flag.String("manifest", "", "append a JSONL run manifest (run identity + per-job metric deltas) to this file")
 	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -77,9 +80,10 @@ func run() int {
 	names := strings.Split(*policies, ",")
 	for i, name := range names {
 		names[i] = strings.TrimSpace(name)
-		if _, err := sim.NewPolicy(names[i]); err != nil {
-			fatal("%v", err)
-		}
+	}
+	factories, err := sim.Factories(names)
+	if err != nil {
+		fatal("%v", err)
 	}
 	subject := *workload
 	switch {
@@ -116,13 +120,41 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
 		}
 	}()
+	meta := fmt.Sprintf("chirpsim workload=%s trace=%s instr=%d timing=%v penalty=%d",
+		*workload, *traceFile, *instr, *timing, *penalty)
+
+	if *metricsAddr != "" {
+		bound, stopMetrics, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "chirpsim: metrics on http://%s/metrics\n", bound)
+	}
+
 	cfg := engine.Config{Workers: *workers}
+	var sinks []engine.Sink
 	if *progress > 0 {
-		cfg.Sink = engine.NewReporter(os.Stderr, *progress)
+		sinks = append(sinks, engine.NewReporter(os.Stderr, *progress))
+	}
+	if *manifest != "" {
+		man, err := obs.OpenManifest(*manifest, obs.Default, meta)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := man.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
+			}
+		}()
+		sinks = append(sinks, engine.ManifestSink(man))
+	}
+	if len(sinks) > 0 {
+		cfg.Sink = engine.MultiSink(sinks...)
 	}
 	if *checkpoint != "" {
-		meta := fmt.Sprintf("chirpsim workload=%s trace=%s instr=%d timing=%v penalty=%d",
-			*workload, *traceFile, *instr, *timing, *penalty)
 		ck, err := engine.Open(*checkpoint, meta)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
@@ -143,22 +175,18 @@ func run() int {
 
 	// One engine job per policy; results stay in -policies order, so
 	// the first policy remains the comparison baseline.
-	jobs := make([]engine.Job[policyRow], 0, len(names))
-	for _, name := range names {
-		name := name
+	jobs := make([]engine.Job[policyRow], 0, len(factories))
+	for _, f := range factories {
+		f := f
 		jobs = append(jobs, engine.Job[policyRow]{
-			Key: engine.Key{Workload: subject, Policy: name},
-			Run: func(context.Context) (policyRow, error) {
-				p, err := sim.NewPolicy(name)
-				if err != nil {
-					return policyRow{}, err
-				}
+			Key: engine.Key{Workload: subject, Policy: f.Name},
+			Run: func(jctx context.Context) (policyRow, error) {
 				if *timing {
 					src, err := openSource()
 					if err != nil {
 						return policyRow{}, err
 					}
-					m, err := pipeline.New(pipeline.DefaultConfig(*instr, *penalty), p,
+					m, err := pipeline.New(pipeline.DefaultConfig(*instr, *penalty), f.New(),
 						func() tlb.Policy { return policy.NewLRU() })
 					if err != nil {
 						return policyRow{}, err
@@ -169,24 +197,16 @@ func run() int {
 					}
 					return policyRow{MPKI: res.MPKI, IPC: res.IPC, BranchAccuracy: res.BranchAccuracy}, nil
 				}
-				tlbCfg := sim.DefaultTLBOnlyConfig(*instr)
-				var res sim.TLBOnlyResult
-				if streams != nil {
-					// The first policy's job captures; the rest replay the
-					// shared stream without reopening the source.
-					var stream *l2stream.Stream
-					stream, err = sim.StreamFor(streams, subject, tlbCfg, openSource)
-					if err == nil {
-						res, err = sim.ReplayTLBOnly(stream, p, tlbCfg)
-					}
-				} else {
-					var src trace.Source
-					src, err = openSource()
-					if err != nil {
-						return policyRow{}, err
-					}
-					res, err = sim.RunTLBOnly(src, p, tlbCfg)
-				}
+				// sim.Run picks capture/replay when the stream cache is on
+				// (the first policy's job captures, the rest replay the
+				// shared stream) and the direct path otherwise.
+				res, err := sim.Run(jctx, sim.RunSpec{
+					Name:   subject,
+					Open:   openSource,
+					Policy: f.New,
+					Config: sim.DefaultTLBOnlyConfig(*instr),
+					Cache:  streams,
+				})
 				if err != nil {
 					return policyRow{}, err
 				}

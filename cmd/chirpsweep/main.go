@@ -23,6 +23,7 @@ import (
 	"github.com/chirplab/chirp/internal/core"
 	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/l2stream"
+	"github.com/chirplab/chirp/internal/obs"
 	"github.com/chirplab/chirp/internal/sim"
 	"github.com/chirplab/chirp/internal/stats"
 	"github.com/chirplab/chirp/internal/tlb"
@@ -38,6 +39,8 @@ func run() int {
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	l2cache := flag.Int64("l2cache", 0, "L2 event-stream cache budget in MiB, shared across every sweep point (0 = 256 MiB default, negative = disable capture/replay)")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; a killed sweep resumes where it stopped")
+	metricsAddr := flag.String("metrics", "", "serve /metrics (Prometheus), /debug/vars (JSON) and /debug/pprof on this address (e.g. localhost:8080)")
+	manifest := flag.String("manifest", "", "append a JSONL run manifest (run identity + per-job metric deltas) to this file")
 	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -56,7 +59,33 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
 		}
 	}()
+	meta := fmt.Sprintf("chirpsweep sweep=%s n=%d instr=%d", *sweep, *n, *instr)
+
+	if *metricsAddr != "" {
+		bound, stopMetrics, err := obs.Serve(*metricsAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
+			return 1
+		}
+		defer stopMetrics()
+		fmt.Fprintf(os.Stderr, "chirpsweep: metrics on http://%s/metrics\n", bound)
+	}
+
 	opts := sim.SuiteOptions{Workers: *workers}
+	var sinks []engine.Sink
+	if *manifest != "" {
+		man, err := obs.OpenManifest(*manifest, obs.Default, meta)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := man.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
+			}
+		}()
+		sinks = append(sinks, engine.ManifestSink(man))
+	}
 	if *l2cache >= 0 {
 		// Sweep points vary only the L2 policy and geometry, which the
 		// captured stream is invariant to — one cache serves every
@@ -69,10 +98,12 @@ func run() int {
 		opts.StreamBudget = -1
 	}
 	if *progress > 0 {
-		opts.Sink = engine.NewReporter(os.Stderr, *progress)
+		sinks = append(sinks, engine.NewReporter(os.Stderr, *progress))
+	}
+	if len(sinks) > 0 {
+		opts.Sink = engine.MultiSink(sinks...)
 	}
 	if *checkpoint != "" {
-		meta := fmt.Sprintf("chirpsweep sweep=%s n=%d instr=%d", *sweep, *n, *instr)
 		ck, err := engine.Open(*checkpoint, meta)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)

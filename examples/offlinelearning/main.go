@@ -2,17 +2,15 @@
 // Harvest (inserting PC → was the entry reused?) lifetimes from an
 // LRU-replaced L2 TLB, train an ADALINE on the PC's bits, and read off
 // which bits carry reuse information — the study that told the CHiRP
-// authors to record PC bits 2 and 3 in the path history.
+// authors to record PC bits 2 and 3 in the path history. Everything
+// here goes through the public chirp facade.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"github.com/chirplab/chirp/internal/adaline"
-	"github.com/chirplab/chirp/internal/sim"
-	"github.com/chirplab/chirp/internal/trace"
-	"github.com/chirplab/chirp/internal/workloads"
+	"github.com/chirplab/chirp"
 )
 
 func main() {
@@ -22,13 +20,13 @@ func main() {
 		bits         = 16
 	)
 	for _, name := range []string{"db-003", "sci-000", "osmix-000"} {
-		w := workloads.ByName(name)
+		w := chirp.WorkloadByName(name)
 		if w == nil {
 			log.Fatalf("workload %s missing", name)
 		}
-		samples, err := sim.CollectReuseSamples(
-			trace.NewLimit(w.Source(), instructions),
-			sim.DefaultTLBOnlyConfig(instructions), 100_000)
+		samples, err := chirp.CollectReuseSamples(
+			chirp.Limit(w.Source(), instructions),
+			chirp.DefaultTLBOnlyConfig(instructions), 100_000)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -38,14 +36,14 @@ func main() {
 				reused++
 			}
 		}
-		a := adaline.New(adaline.Config{Inputs: bits, LearningRate: 0.05, L1Decay: 0.00005})
+		a := chirp.NewAdaline(chirp.AdalineConfig{Inputs: bits, LearningRate: 0.05, L1Decay: 0.00005})
 		for epoch := 0; epoch < 5; epoch++ {
 			for _, s := range samples {
 				d := -1.0
 				if s.Reused {
 					d = 1.0
 				}
-				a.Train(adaline.EncodePCBits(s.PC, firstBit, bits), d)
+				a.Train(chirp.EncodePCBits(s.PC, firstBit, bits), d)
 			}
 		}
 		fmt.Printf("%s: %d lifetimes (%d reused), ADALINE accuracy %.2f\n",

@@ -114,6 +114,20 @@ type CHiRP struct {
 
 	reads, writes uint64
 	accesses      uint64
+
+	// Prediction-outcome tallies (see obs.go): deadOnArrival counts
+	// inserts whose entry was predicted dead at fill time, falseDead
+	// counts hits landing on a dead-marked entry — each such hit is
+	// direct evidence of a misprediction the victim scan could have
+	// acted on.
+	deadOnArrival uint64
+	falseDead     uint64
+
+	// published mirrors the counters as of the last PublishMetrics, so
+	// repeated publishes emit deltas (see obs.go).
+	published struct {
+		reads, writes, accesses, deadOnArrival, falseDead uint64
+	}
 }
 
 var (
@@ -260,6 +274,9 @@ func (p *CHiRP) OnAccess(a *tlb.Access) {
 func (p *CHiRP) OnHit(set uint32, way int, _ *tlb.Access) {
 	p.rec.Touch(set, way)
 	i := int(set)*p.ways + way
+	if p.dead[i] {
+		p.falseDead++
+	}
 	if p.cfg.SelectiveHitUpdate && p.sameSet {
 		p.sig[i] = p.curSig
 		return
@@ -314,6 +331,9 @@ func (p *CHiRP) OnInsert(set uint32, way int, _ *tlb.Access) {
 	i := int(set)*p.ways + way
 	p.sig[i] = p.curSig
 	p.dead[i] = p.predict(p.curSig)
+	if p.dead[i] {
+		p.deadOnArrival++
+	}
 	p.firstHit[i] = true
 }
 

@@ -1,0 +1,41 @@
+package core
+
+import "github.com/chirplab/chirp/internal/obs"
+
+// Predictor metric counters in the default registry. As with the TLB
+// metrics, the hot path only bumps plain struct fields; PublishMetrics
+// flushes deltas when a run finishes.
+var (
+	obsPredicts = obs.Default.Counter("chirp_predictor_predictions_total",
+		"Prediction-table reads (dead/live predictions).")
+	obsTrains = obs.Default.Counter("chirp_predictor_trains_total",
+		"Prediction-table writes (training updates).")
+	obsAccesses = obs.Default.Counter("chirp_predictor_accesses_total",
+		"Demand TLB accesses observed by the predictor.")
+	obsDeadOnArrival = obs.Default.Counter("chirp_predictor_dead_on_arrival_total",
+		"Entries predicted dead at insert time.")
+	obsFalseDead = obs.Default.Counter("chirp_predictor_false_dead_total",
+		"Hits landing on entries marked dead (mispredictions).")
+)
+
+// PublishMetrics implements obs.Publisher: it adds the predictor's
+// counter movement since the previous publish to obs.Default. The
+// simulation drivers call it once per finished run.
+func (p *CHiRP) PublishMetrics() {
+	obsPredicts.Add(p.reads - p.published.reads)
+	obsTrains.Add(p.writes - p.published.writes)
+	obsAccesses.Add(p.accesses - p.published.accesses)
+	obsDeadOnArrival.Add(p.deadOnArrival - p.published.deadOnArrival)
+	obsFalseDead.Add(p.falseDead - p.published.falseDead)
+	p.published.reads, p.published.writes = p.reads, p.writes
+	p.published.accesses = p.accesses
+	p.published.deadOnArrival = p.deadOnArrival
+	p.published.falseDead = p.falseDead
+}
+
+// PredictionOutcomes returns the dead-on-arrival and false-dead
+// tallies: how many fills were predicted dead, and how many hits
+// landed on dead-marked entries. Exposed for tests and diagnostics.
+func (p *CHiRP) PredictionOutcomes() (deadOnArrival, falseDead uint64) {
+	return p.deadOnArrival, p.falseDead
+}

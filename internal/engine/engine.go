@@ -28,6 +28,21 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/chirplab/chirp/internal/obs"
+)
+
+// Engine metrics in the default registry: how many jobs are executing
+// right now, how long they take, and how they finish. One histogram
+// observation and a couple of atomic bumps per job — invisible next to
+// a simulation that runs for milliseconds at minimum.
+var (
+	obsJobsInFlight = obs.Default.Gauge("chirp_engine_jobs_inflight",
+		"Jobs currently executing across all engine runs.")
+	obsJobSeconds = obs.Default.Histogram("chirp_engine_job_seconds",
+		"Per-job wall time.", obs.DurationBuckets())
+	obsJobs = obs.Default.CounterVec("chirp_engine_jobs_total",
+		"Finished jobs by outcome (ok, error, resumed).", "status")
 )
 
 // Key identifies one job inside a run — and inside a checkpoint file,
@@ -110,6 +125,7 @@ func Run[T any](ctx context.Context, jobs []Job[T], cfg Config) ([]T, error) {
 				return results, fmt.Errorf("engine: restoring %s: %w", j.Key, err)
 			}
 			if ok {
+				obsJobs.With("resumed").Inc()
 				continue
 			}
 		}
@@ -144,7 +160,9 @@ func Run[T any](ctx context.Context, jobs []Job[T], cfg Config) ([]T, error) {
 	runOne := func(i int) {
 		j := jobs[i]
 		start := time.Now()
+		obsJobsInFlight.Inc()
 		res, err := protect(runCtx, j)
+		obsJobsInFlight.Dec()
 		if err == nil {
 			results[i] = res
 			if cfg.Checkpoint != nil {
@@ -153,11 +171,16 @@ func Run[T any](ctx context.Context, jobs []Job[T], cfg Config) ([]T, error) {
 				}
 			}
 		}
+		elapsed := time.Since(start)
+		obsJobSeconds.Observe(elapsed.Seconds())
 		if err != nil {
+			obsJobs.With("error").Inc()
 			fail(i, j.Key, err)
+		} else {
+			obsJobs.With("ok").Inc()
 		}
 		if cfg.Sink != nil {
-			cfg.Sink.JobDone(j.Key, time.Since(start), err)
+			cfg.Sink.JobDone(j.Key, elapsed, err)
 		}
 	}
 

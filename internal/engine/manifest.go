@@ -1,0 +1,29 @@
+package engine
+
+import (
+	"time"
+
+	"github.com/chirplab/chirp/internal/obs"
+)
+
+// ManifestSink adapts an obs.Manifest into a Sink: every finished job
+// appends one manifest row recording the job's key, wall time, outcome
+// and the registry movement since the previous row. Combine it with a
+// Reporter via MultiSink to get both progress lines and a durable
+// record of the run.
+//
+// The manifest serialises rows internally, so the sink is safe for the
+// engine's concurrent JobDone calls. Manifest.Record never fails a job:
+// a write error is remembered by the manifest and surfaced by its
+// Close, keeping telemetry failures out of the simulation results.
+func ManifestSink(m *obs.Manifest) Sink { return manifestSink{m} }
+
+type manifestSink struct{ m *obs.Manifest }
+
+func (manifestSink) RunStart(total, resumed int) {}
+
+func (s manifestSink) JobDone(k Key, elapsed time.Duration, err error) {
+	s.m.Record(k.Scope, k.Workload, k.Policy, elapsed, err)
+}
+
+func (manifestSink) RunEnd() {}

@@ -3,6 +3,31 @@ package l2stream
 import (
 	"os"
 	"sync"
+	"time"
+
+	"github.com/chirplab/chirp/internal/obs"
+)
+
+// Cache metrics in the default registry. Captures are rare (once per
+// (workload, config) per cache) and already pay a full trace pass, so
+// instrumenting them directly costs nothing measurable. The gauges
+// accumulate additively, so several live caches report their combined
+// residency.
+var (
+	obsCacheHits = obs.Default.Counter("chirp_l2stream_cache_hits_total",
+		"GetOrCapture calls served from an already-captured stream.")
+	obsCacheMisses = obs.Default.Counter("chirp_l2stream_cache_misses_total",
+		"GetOrCapture calls that ran a capture.")
+	obsCacheSpills = obs.Default.Counter("chirp_l2stream_cache_spills_total",
+		"Captures that overflowed the byte budget and spilled to disk.")
+	obsCacheEvictions = obs.Default.Counter("chirp_l2stream_cache_evictions_total",
+		"In-memory streams evicted to hold the byte budget.")
+	obsCaptureSeconds = obs.Default.Histogram("chirp_l2stream_capture_seconds",
+		"Wall time of each capture pass.", obs.DurationBuckets())
+	obsCacheBytes = obs.Default.Gauge("chirp_l2stream_cache_bytes",
+		"In-memory bytes currently accounted to stream caches.")
+	obsCacheStreams = obs.Default.Gauge("chirp_l2stream_cache_streams",
+		"Captured streams currently resident in stream caches.")
 )
 
 // DefaultBudget is the cache's default in-memory byte budget: large
@@ -75,8 +100,13 @@ func (c *Cache) GetOrCapture(key Key, capture func(CaptureOptions) (*Stream, err
 	}
 	c.mu.Unlock()
 
+	ran := false
 	e.once.Do(func() {
+		ran = true
+		obsCacheMisses.Inc()
+		start := time.Now()
 		e.stream, e.err = capture(CaptureOptions{MaxBytes: c.budget, SpillDir: c.dir})
+		obsCaptureSeconds.Observe(time.Since(start).Seconds())
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		if e.err != nil {
@@ -90,13 +120,21 @@ func (c *Cache) GetOrCapture(key Key, capture func(CaptureOptions) (*Stream, err
 		e.done = true
 		e.bytes = e.stream.FootprintBytes()
 		c.used += e.bytes
+		obsCacheBytes.Add(e.bytes)
+		obsCacheStreams.Inc()
 		if e.stream.Spilled() {
+			obsCacheSpills.Inc()
 			c.spills = append(c.spills, e.stream)
 		}
 		c.evictLocked(key)
 	})
 	if e.err != nil {
 		return nil, e.err
+	}
+	if !ran {
+		// Served from the memo: either a finished capture or one this
+		// caller waited on another goroutine to finish.
+		obsCacheHits.Inc()
 	}
 
 	c.mu.Lock()
@@ -125,6 +163,9 @@ func (c *Cache) evictLocked(keep Key) {
 			return // nothing evictable; a single oversized stream stays
 		}
 		c.used -= victim.bytes
+		obsCacheBytes.Add(-victim.bytes)
+		obsCacheStreams.Dec()
+		obsCacheEvictions.Inc()
 		delete(c.entries, victimKey)
 	}
 }
@@ -150,6 +191,14 @@ func (c *Cache) Close() error {
 	c.mu.Lock()
 	spills := c.spills
 	c.spills = nil
+	resident := int64(0)
+	for _, e := range c.entries {
+		if e.done {
+			resident++
+		}
+	}
+	obsCacheBytes.Add(-c.used)
+	obsCacheStreams.Add(-resident)
 	c.entries = map[Key]*cacheEntry{}
 	c.used = 0
 	c.mu.Unlock()

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE pair per
+// metric, series in registration order, label values sorted.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, e := range r.entries() {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+			return err
+		}
+		var err error
+		switch e.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.counter.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.gauge.Value())
+		case kindHistogram:
+			err = writePromHistogram(w, e.name, e.hist)
+		case kindCounterVec:
+			for _, k := range e.counterVec.snapshotKeys() {
+				if _, err = fmt.Fprintf(w, "%s %d\n", series(e.name, e.counterVec.label, k), e.counterVec.With(k).Value()); err != nil {
+					break
+				}
+			}
+		case kindGaugeVec:
+			for _, k := range e.gaugeVec.snapshotKeys() {
+				if _, err = fmt.Fprintf(w, "%s %d\n", series(e.name, e.gaugeVec.label, k), e.gaugeVec.With(k).Value()); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, h *Histogram) error {
+	counts := h.BucketCounts()
+	cum := uint64(0)
+	for i, b := range h.Bounds() {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(name+"_bucket", "le", formatFloat(b)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %d\n", series(name+"_bucket", "le", "+Inf"), h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %v\n", name, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+	return err
+}
+
+// WriteJSON renders the registry as one JSON object in the
+// /debug/vars (expvar) style: metric name → value, families as nested
+// objects keyed by label value, histograms as {count, sum, buckets}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := map[string]any{}
+	for _, e := range r.entries() {
+		switch e.kind {
+		case kindCounter:
+			out[e.name] = e.counter.Value()
+		case kindGauge:
+			out[e.name] = e.gauge.Value()
+		case kindHistogram:
+			buckets := map[string]uint64{}
+			counts := e.hist.BucketCounts()
+			cum := uint64(0)
+			for i, b := range e.hist.Bounds() {
+				cum += counts[i]
+				buckets[formatFloat(b)] = cum
+			}
+			buckets["+Inf"] = e.hist.Count()
+			out[e.name] = map[string]any{
+				"count":   e.hist.Count(),
+				"sum":     e.hist.Sum(),
+				"buckets": buckets,
+			}
+		case kindCounterVec:
+			m := map[string]uint64{}
+			for _, k := range e.counterVec.snapshotKeys() {
+				m[k] = e.counterVec.With(k).Value()
+			}
+			out[e.name] = m
+		case kindGaugeVec:
+			m := map[string]int64{}
+			for _, k := range e.gaugeVec.snapshotKeys() {
+				m[k] = e.gaugeVec.With(k).Value()
+			}
+			out[e.name] = m
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// manifestVersion guards the on-disk record layout.
+const manifestVersion = 1
+
+// Manifest emits a JSONL run manifest next to engine checkpoints: a
+// header line identifying the run (random run ID, FNV-64a hash of the
+// caller's config string, VCS revision from build info), then one line
+// per completed job carrying the registry's metric delta since the
+// previous line, and a closing line with the full final snapshot.
+//
+// Deltas are global registry movement between consecutive Record
+// calls. Under a parallel engine run, concurrent jobs interleave, so a
+// line's delta attributes the registry movement *observed at* that
+// job's completion, not the movement *caused by* it; with Workers=1
+// the two coincide. That is the useful semantics for sweep forensics
+// — "what did the predictor/TLB/cache counters do across this stretch
+// of the run" — and it is exactly reconstructible by summing lines.
+type Manifest struct {
+	mu   sync.Mutex
+	f    *os.File
+	enc  *json.Encoder
+	reg  *Registry
+	last Snapshot
+	werr error // first Record write failure, resurfaced by Close
+}
+
+type manifestHeader struct {
+	Version    int    `json:"chirp_manifest"`
+	RunID      string `json:"run_id"`
+	Start      string `json:"start"`
+	Config     string `json:"config,omitempty"`
+	ConfigHash string `json:"config_hash"`
+	VCS        string `json:"vcs"`
+}
+
+type manifestRow struct {
+	Scope    string   `json:"scope,omitempty"`
+	Workload string   `json:"workload"`
+	Policy   string   `json:"policy"`
+	Elapsed  float64  `json:"elapsed_s"`
+	Err      string   `json:"err,omitempty"`
+	Metrics  Snapshot `json:"metrics,omitempty"`
+}
+
+type manifestEnd struct {
+	End    bool     `json:"end"`
+	Finish string   `json:"finish"`
+	Totals Snapshot `json:"totals"`
+}
+
+// OpenManifest appends a manifest for one run to path (creating it if
+// needed; successive runs stack, each starting with its own header
+// line). config is the caller's run fingerprint — the same string
+// cmds hand to engine.Open — recorded verbatim and hashed so
+// manifests from different configurations never diff silently.
+func OpenManifest(path string, reg *Registry, config string) (*Manifest, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening manifest: %w", err)
+	}
+	m := &Manifest{f: f, enc: json.NewEncoder(f), reg: reg, last: reg.Snapshot()}
+	h := fnv.New64a()
+	h.Write([]byte(config))
+	hdr := manifestHeader{
+		Version:    manifestVersion,
+		RunID:      newRunID(),
+		Start:      time.Now().UTC().Format(time.RFC3339),
+		Config:     config,
+		ConfigHash: fmt.Sprintf("%016x", h.Sum64()),
+		VCS:        vcsDescribe(),
+	}
+	if err := m.enc.Encode(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: writing manifest header: %w", err)
+	}
+	return m, nil
+}
+
+// Record appends one completed-job line: the job's identity, wall
+// time, error (if any) and the registry delta since the previous line.
+// A write failure is returned and also remembered, so callers that
+// ignore per-row errors (e.g. engine sinks) still see it from Close.
+func (m *Manifest) Record(scope, workload, policy string, elapsed time.Duration, jobErr error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := m.reg.Snapshot()
+	row := manifestRow{
+		Scope:    scope,
+		Workload: workload,
+		Policy:   policy,
+		Elapsed:  elapsed.Seconds(),
+		Metrics:  snap.Delta(m.last),
+	}
+	if jobErr != nil {
+		row.Err = jobErr.Error()
+	}
+	m.last = snap
+	if err := m.enc.Encode(row); err != nil {
+		if m.werr == nil {
+			m.werr = err
+		}
+		return err
+	}
+	return nil
+}
+
+// Close writes the closing totals line and releases the file.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	end := manifestEnd{
+		End:    true,
+		Finish: time.Now().UTC().Format(time.RFC3339),
+		Totals: m.reg.Snapshot(),
+	}
+	err := m.werr
+	if eerr := m.enc.Encode(end); err == nil {
+		err = eerr
+	}
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	m.f = nil
+	return err
+}
+
+// newRunID returns a random 64-bit hex run identifier.
+func newRunID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Clock fallback; uniqueness within one host is all the manifest
+		// needs.
+		return fmt.Sprintf("t%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// vcsDescribe approximates `git describe` from the binary's embedded
+// build info: short revision plus a -dirty suffix, or "unknown" for
+// builds without VCS stamping (go test, go run).
+func vcsDescribe() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + modified
+}

@@ -127,6 +127,7 @@ func ReplayTLBOnly(stream *l2stream.Stream, l2p tlb.Policy, cfg TLBOnlyConfig) (
 	}
 
 	l2.FlushAccounting()
+	publishRun(l2p, l2)
 	st := l2.Stats()
 	res := TLBOnlyResult{
 		Policy:       l2p.Name(),

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/chirplab/chirp/internal/l2stream"
+	"github.com/chirplab/chirp/internal/trace"
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+// RunSpec bundles everything one TLB-only measurement needs. It is the
+// single argument of Run, so the call sites read as configuration
+// rather than positional plumbing, and new knobs never change the
+// signature.
+//
+// Exactly one of Workload and Open must be set:
+//
+//   - Workload names a synthetic workload; Run derives the bounded
+//     trace source (and the stream-cache key) from it.
+//   - Open returns a fresh bounded source per call — for trace files or
+//     custom generators. It may be called zero times (stream already
+//     cached) or once.
+type RunSpec struct {
+	// Workload, when non-nil, supplies both the trace source and the
+	// run's name.
+	Workload *workloads.Workload
+	// Open supplies the trace source when Workload is nil.
+	Open func() (trace.Source, error)
+	// Name identifies the run in the stream cache. Required with Open
+	// when Cache is set; defaults to Workload.Name otherwise.
+	Name string
+	// Policy builds the L2 replacement policy under test.
+	Policy PolicyFactory
+	// Config is the TLB-only configuration (hierarchy, instruction
+	// budget, warmup, prefetch distance).
+	Config TLBOnlyConfig
+	// Cache, when non-nil, selects the capture/replay path: the
+	// workload's policy-invariant L2 event stream is captured once into
+	// the cache and replayed under Policy — bit-identical to the direct
+	// path, and much cheaper from the second policy on. When nil, Run
+	// drives the full trace directly.
+	Cache *l2stream.Cache
+}
+
+// name returns the run's stream-cache identity.
+func (s *RunSpec) name() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	if s.Workload != nil {
+		return s.Workload.Name
+	}
+	return ""
+}
+
+// open returns a fresh bounded source for the spec.
+func (s *RunSpec) open() (trace.Source, error) {
+	if s.Workload != nil {
+		return trace.NewLimit(workloads.NewGenerator(s.Workload.Program()), s.Config.Instructions), nil
+	}
+	return s.Open()
+}
+
+// validate rejects specs that cannot run before any work starts.
+func (s *RunSpec) validate() error {
+	switch {
+	case s.Policy == nil:
+		return errors.New("sim: RunSpec.Policy is required")
+	case s.Workload == nil && s.Open == nil:
+		return errors.New("sim: RunSpec needs Workload or Open")
+	case s.Workload != nil && s.Open != nil:
+		return errors.New("sim: RunSpec.Workload and RunSpec.Open are mutually exclusive")
+	case s.Cache != nil && s.name() == "":
+		return errors.New("sim: RunSpec.Name is required to key the stream cache when Open is used")
+	}
+	return nil
+}
+
+// Run is the one TLB-only entry point: it measures spec.Policy over
+// spec's trace under spec.Config, choosing the capture/replay path when
+// spec.Cache is set and the direct path otherwise — the two are
+// bit-identical, so callers pick purely on cost. The context gates the
+// start of the run (simulations are CPU-bound and finish in bounded
+// time once started); suite drivers check it between jobs via the
+// engine.
+//
+// On success the run's TLB and predictor counters are published to the
+// default obs registry (see PublishMetrics on tlb.TLB and the policy
+// implementations).
+func Run(ctx context.Context, spec RunSpec) (TLBOnlyResult, error) {
+	if err := spec.validate(); err != nil {
+		return TLBOnlyResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return TLBOnlyResult{}, err
+	}
+	if spec.Cache != nil {
+		stream, err := StreamFor(spec.Cache, spec.name(), spec.Config, spec.open)
+		if err != nil {
+			return TLBOnlyResult{}, fmt.Errorf("sim: capturing %s: %w", spec.name(), err)
+		}
+		return ReplayTLBOnly(stream, spec.Policy(), spec.Config)
+	}
+	src, err := spec.open()
+	if err != nil {
+		return TLBOnlyResult{}, err
+	}
+	return RunTLBOnly(src, spec.Policy(), spec.Config)
+}

@@ -65,11 +65,35 @@ func (r *reuseRecorder) OnInsert(set uint32, way int, a *tlb.Access) {
 	r.valid[i] = true
 }
 
+// full reports whether the sample budget is exhausted.
+func (r *reuseRecorder) full() bool { return r.max > 0 && len(r.samples) >= r.max }
+
+// cutoffSource stops yielding records once done reports true — the
+// trace.Limit idiom applied to a predicate instead of an instruction
+// count.
+type cutoffSource struct {
+	trace.Source
+	done func() bool
+}
+
+func (c *cutoffSource) Next(rec *trace.Record) bool {
+	return !c.done() && c.Source.Next(rec)
+}
+
 // CollectReuseSamples replays src through the TLB hierarchy under LRU
 // and returns up to max completed L2-entry lifetimes (0 = unbounded).
+// With a positive max the replay stops as soon as the budget fills,
+// instead of simulating the rest of the trace for samples it would
+// discard.
 func CollectReuseSamples(src trace.Source, cfg TLBOnlyConfig, max int) ([]ReuseSample, error) {
 	rec := newReuseRecorder(max)
-	if _, err := RunTLBOnly(src, rec, cfg); err != nil {
+	run := src
+	if max > 0 {
+		run = &cutoffSource{Source: src, done: rec.full}
+	}
+	if _, err := RunTLBOnly(run, rec, cfg); err != nil && !rec.full() {
+		// A full recorder legitimately cuts the trace before the warmup
+		// boundary; any error on a non-full recorder is real.
 		return nil, err
 	}
 	return rec.samples, nil

@@ -61,14 +61,14 @@ type SuiteOptions struct {
 // suiteJobs builds one engine job per (workload, policy) pair, in
 // workload-major order — the result ordering both runners guarantee.
 func suiteJobs[T any](ws []*workloads.Workload, pols []NamedFactory, scope string,
-	run func(w *workloads.Workload, p NamedFactory) (T, error)) []engine.Job[T] {
+	run func(ctx context.Context, w *workloads.Workload, p NamedFactory) (T, error)) []engine.Job[T] {
 	jobs := make([]engine.Job[T], 0, len(ws)*len(pols))
 	for _, w := range ws {
 		for _, p := range pols {
 			w, p := w, p
 			jobs = append(jobs, engine.Job[T]{
 				Key: engine.Key{Scope: scope, Workload: w.Name, Policy: p.Name},
-				Run: func(context.Context) (T, error) { return run(w, p) },
+				Run: func(ctx context.Context) (T, error) { return run(ctx, w, p) },
 			})
 		}
 	}
@@ -88,36 +88,27 @@ func RunSuiteTLBOnlyCtx(ctx context.Context, ws []*workloads.Workload, pols []Na
 		cache = l2stream.NewCache(opts.StreamBudget, "")
 		defer cache.Close()
 	}
-	jobs := suiteJobs(ws, pols, opts.Scope, func(w *workloads.Workload, p NamedFactory) (SuiteResult, error) {
-		prog := w.Program()
-		var res TLBOnlyResult
-		var err error
-		if cache != nil {
-			// Capture the workload's L2 event stream once (shared across
-			// this workload's policies — and across suite calls when the
-			// cache is), then replay it under this cell's policy.
-			var stream *l2stream.Stream
-			stream, err = StreamFor(cache, w.Name, cfg, func() (trace.Source, error) {
-				return trace.NewLimit(workloads.NewGenerator(w.Program()), cfg.Instructions), nil
-			})
-			if err == nil {
-				res, err = ReplayTLBOnly(stream, p.New(), cfg)
-			}
-		} else {
-			src := trace.NewLimit(workloads.NewGenerator(prog), cfg.Instructions)
-			res, err = RunTLBOnly(src, p.New(), cfg)
-		}
+	jobs := suiteJobs(ws, pols, opts.Scope, func(ctx context.Context, w *workloads.Workload, p NamedFactory) (SuiteResult, error) {
+		// Every cell goes through the one Run entry point; the spec's
+		// Cache field (shared across this workload's policies — and
+		// across suite calls when opts.StreamCache is) selects
+		// capture/replay vs the direct path.
+		res, err := Run(ctx, RunSpec{Workload: w, Policy: p.New, Config: cfg, Cache: cache})
 		if err != nil {
 			return SuiteResult{}, fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
 		}
 		res.Policy = p.Name
-		return SuiteResult{Workload: w.Name, Category: w.Category, Profile: prog.Profile, TLBOnlyResult: res}, nil
+		return SuiteResult{Workload: w.Name, Category: w.Category, Profile: w.Program().Profile, TLBOnlyResult: res}, nil
 	})
 	return engine.Run(ctx, jobs, engine.Config{Workers: opts.Workers, Sink: opts.Sink, Checkpoint: opts.Checkpoint})
 }
 
 // RunSuiteTLBOnly is RunSuiteTLBOnlyCtx without cancellation,
 // telemetry or checkpointing.
+//
+// Deprecated: use RunSuiteTLBOnlyCtx (or Run for a single cell). This
+// wrapper exists for source compatibility with pre-engine callers and
+// will not grow new options.
 func RunSuiteTLBOnly(ws []*workloads.Workload, pols []NamedFactory, cfg TLBOnlyConfig, workers int) ([]SuiteResult, error) {
 	return RunSuiteTLBOnlyCtx(context.Background(), ws, pols, cfg, SuiteOptions{Workers: workers})
 }
@@ -126,7 +117,7 @@ func RunSuiteTLBOnly(ws []*workloads.Workload, pols []NamedFactory, cfg TLBOnlyC
 // full timing model, with the same engine semantics as
 // RunSuiteTLBOnlyCtx.
 func RunSuiteTimingCtx(ctx context.Context, ws []*workloads.Workload, pols []NamedFactory, cfg pipeline.Config, opts SuiteOptions) ([]TimingResult, error) {
-	jobs := suiteJobs(ws, pols, opts.Scope, func(w *workloads.Workload, p NamedFactory) (TimingResult, error) {
+	jobs := suiteJobs(ws, pols, opts.Scope, func(_ context.Context, w *workloads.Workload, p NamedFactory) (TimingResult, error) {
 		prog := w.Program()
 		m, err := pipeline.New(cfg, p.New(), func() tlb.Policy { return policy.NewLRU() })
 		if err != nil {
@@ -145,6 +136,9 @@ func RunSuiteTimingCtx(ctx context.Context, ws []*workloads.Workload, pols []Nam
 
 // RunSuiteTiming is RunSuiteTimingCtx without cancellation, telemetry
 // or checkpointing.
+//
+// Deprecated: use RunSuiteTimingCtx. This wrapper exists for source
+// compatibility with pre-engine callers and will not grow new options.
 func RunSuiteTiming(ws []*workloads.Workload, pols []NamedFactory, cfg pipeline.Config, workers int) ([]TimingResult, error) {
 	return RunSuiteTimingCtx(context.Background(), ws, pols, cfg, SuiteOptions{Workers: workers})
 }

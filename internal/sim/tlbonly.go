@@ -7,6 +7,7 @@ package sim
 import (
 	"fmt"
 
+	"github.com/chirplab/chirp/internal/obs"
 	"github.com/chirplab/chirp/internal/policy"
 	"github.com/chirplab/chirp/internal/tlb"
 	"github.com/chirplab/chirp/internal/trace"
@@ -179,6 +180,7 @@ func RunTLBOnly(src trace.Source, l2p tlb.Policy, cfg TLBOnlyConfig) (TLBOnlyRes
 	}
 
 	l2.FlushAccounting()
+	publishRun(l2p, l1i, l1d, l2)
 	st := l2.Stats()
 	res := TLBOnlyResult{
 		Policy:       l2p.Name(),
@@ -201,6 +203,20 @@ func RunTLBOnly(src trace.Source, l2p tlb.Policy, cfg TLBOnlyConfig) (TLBOnlyRes
 	return res, nil
 }
 
+// publishRun flushes a finished run's aggregated counters into the
+// default obs registry: per-level TLB stats plus whatever the policy
+// itself publishes (CHiRP's predictor counters). Called once per run —
+// never on the hot path — so the simulation loops pay nothing for
+// observability.
+func publishRun(l2p tlb.Policy, tlbs ...*tlb.TLB) {
+	for _, t := range tlbs {
+		t.PublishMetrics()
+	}
+	if pub, ok := l2p.(obs.Publisher); ok {
+		pub.PublishMetrics()
+	}
+}
+
 // CollectL2Stream replays src through LRU L1 TLBs and records the VPN
 // sequence presented to the L2 TLB. Because the L1s' behaviour does
 // not depend on the L2 policy, this stream is identical for every L2
@@ -218,7 +234,6 @@ func CollectL2Stream(src trace.Source, cfg TLBOnlyConfig) ([]uint64, error) {
 	var (
 		stream       []uint64
 		instructions uint64
-		rec          trace.Record
 	)
 	var a tlb.Access
 	access := func(l1 *tlb.TLB, pc, vpn uint64, instr bool) {
@@ -229,17 +244,28 @@ func CollectL2Stream(src trace.Source, cfg TLBOnlyConfig) ([]uint64, error) {
 		stream = append(stream, vpn)
 		l1.Insert(&a, vpn)
 	}
-	for src.Next(&rec) {
-		instructions += rec.Instructions()
-		access(l1i, rec.PC, rec.PC>>pageShift, true)
-		if rec.Class.IsMemory() {
-			access(l1d, rec.PC, rec.EA>>pageShift, false)
+	// Pull records in blocks, like l2stream.Capture: batched sources
+	// (the workload generator) fill the whole block in one virtual call
+	// instead of paying an interface dispatch per record.
+	bs := trace.Blocks(src)
+	var buf [trace.DefaultBlockSize]trace.Record
+	for {
+		n := bs.NextBlock(buf[:])
+		if n == 0 {
+			return stream, nil
 		}
-		if cfg.Instructions > 0 && instructions >= cfg.Instructions {
-			break
+		for i := 0; i < n; i++ {
+			rec := &buf[i]
+			instructions += rec.Instructions()
+			access(l1i, rec.PC, rec.PC>>pageShift, true)
+			if rec.Class.IsMemory() {
+				access(l1d, rec.PC, rec.EA>>pageShift, false)
+			}
+			if cfg.Instructions > 0 && instructions >= cfg.Instructions {
+				return stream, nil
+			}
 		}
 	}
-	return stream, nil
 }
 
 // stridePrefetcher learns, per accessing PC, the page stride between

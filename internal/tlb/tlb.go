@@ -123,16 +123,20 @@ func (c *Config) Validate() error {
 
 // Stats accumulates per-TLB counters.
 type Stats struct {
-	Accesses     uint64
-	Hits         uint64
-	Misses       uint64
-	Evictions    uint64
-	InstrAccess  uint64
-	DataAccess   uint64
-	InstrMisses  uint64
-	DataMisses   uint64
-	liveTime     uint64 // Σ (lastHit − insert) over completed lifetimes
-	residentTime uint64 // Σ (evict − insert) over completed lifetimes
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	// Inserts counts every fill (demand and prefetch); PrefetchInserts
+	// is the prefetch subset.
+	Inserts         uint64
+	PrefetchInserts uint64
+	InstrAccess     uint64
+	DataAccess      uint64
+	InstrMisses     uint64
+	DataMisses      uint64
+	liveTime        uint64 // Σ (lastHit − insert) over completed lifetimes
+	residentTime    uint64 // Σ (evict − insert) over completed lifetimes
 }
 
 // MissRatio returns misses/accesses, or 0 when idle.
@@ -170,10 +174,14 @@ type TLB struct {
 	sets    int
 	ways    int
 	setMask uint64
-	entries []entry // sets × ways, row-major
+	entries []entry  // sets × ways, row-major
 	live    []uint16 // per-set valid-entry count; == ways means no invalid way
 	stats   Stats
 	now     uint64 // monotonically increasing access time
+
+	// published is the Stats state as of the last PublishMetrics call
+	// (see obs.go); the difference is what the next publish emits.
+	published Stats
 }
 
 // New builds a TLB with the given geometry and policy. The policy is
@@ -253,6 +261,7 @@ func (t *TLB) Lookup(a *Access) (ppn uint64, hit bool) {
 // for a victim. It reports whether a valid entry was evicted and, if
 // so, its VPN.
 func (t *TLB) Insert(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
+	t.stats.Inserts++
 	base := int(a.Set) * t.ways
 	way := -1
 	// Once a set has filled, it only empties again through a flush, so
@@ -295,6 +304,7 @@ func (t *TLB) Insert(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
 // Callers should probe Contains first; inserting an already-resident
 // VPN duplicates the entry.
 func (t *TLB) InsertPrefetch(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
+	t.stats.PrefetchInserts++
 	a.Prefetch = true
 	a.Set = t.SetIndex(a.VPN)
 	t.policy.OnAccess(a)
