@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// vet runs chirpvet with -C pointed at the repo root and returns its
+// exit code and streams.
+func vet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(append([]string{"-C", repoRoot(t)}, args...), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := vet(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, rule := range []string{"hotpath-alloc", "obs-boundary", "determinism", "ctx-first", "no-deprecated"} {
+		if !strings.Contains(out, rule) {
+			t.Errorf("-list output missing rule %s:\n%s", rule, out)
+		}
+	}
+}
+
+func TestUnknownRuleExits2(t *testing.T) {
+	code, _, stderr := vet(t, "-rules", "nope", "internal/policy")
+	if code != 2 {
+		t.Fatalf("unknown rule exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown rule") {
+		t.Errorf("stderr missing unknown-rule error: %s", stderr)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, out, stderr := vet(t, "internal/analysis")
+	if code != 0 {
+		t.Fatalf("clean package exited %d\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if out != "" {
+		t.Errorf("clean package produced output: %s", out)
+	}
+}
+
+func TestFixtureFindingsExitOne(t *testing.T) {
+	code, out, stderr := vet(t, "-rules", "hotpath-alloc", "internal/analysis/testdata/src/hotpath")
+	if code != 1 {
+		t.Fatalf("violation fixture exited %d, want 1\nstdout: %s\nstderr: %s", code, out, stderr)
+	}
+	if !strings.Contains(out, "[hotpath-alloc]") {
+		t.Errorf("stdout missing hotpath-alloc diagnostics:\n%s", out)
+	}
+	// Paths render relative to the module root for stable output.
+	if !strings.Contains(out, filepath.Join("internal", "analysis", "testdata", "src", "hotpath", "hotpath.go")) {
+		t.Errorf("diagnostics are not module-relative:\n%s", out)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr missing finding count: %s", stderr)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := vet(t, "-json", "-rules", "determinism", "internal/analysis/testdata/src/determinism/internal/workloads")
+	if code != 1 {
+		t.Fatalf("-json fixture run exited %d, want 1", code)
+	}
+	var rows []struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &rows); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if len(rows) == 0 {
+		t.Fatal("-json reported no diagnostics for the determinism fixture")
+	}
+	for _, r := range rows {
+		if r.Rule != "determinism" || r.File == "" || r.Line == 0 {
+			t.Errorf("malformed row: %+v", r)
+		}
+	}
+}

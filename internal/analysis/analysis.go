@@ -1,0 +1,256 @@
+// Package analysis is chirpvet's engine: a standard-library-only
+// (go/ast, go/parser, go/types — no golang.org/x/tools dependency,
+// preserving the module's zero-require policy) static analysis
+// framework that mechanically enforces the repository's performance
+// and reproducibility invariants:
+//
+//   - hotpath-alloc: functions annotated //chirp:hotpath (the
+//     replay/direct inner loops, TLB lookup/insert, the SWAR recency
+//     stacks, the folded-history push) must stay allocation-free — the
+//     3.3x replay win in BENCH_hotpath.json dies silently if an alloc
+//     sneaks into a per-event function.
+//   - obs-boundary: nothing reachable from a hotpath function may call
+//     into internal/obs; instrumented layers aggregate into plain
+//     counters and publish deltas at run boundaries.
+//   - determinism: workloads and result paths must be bit-deterministic
+//     from their seeds — no wall clock, no global math/rand, no
+//     map-iteration-order-dependent output.
+//   - ctx-first: exported work-launching functions in internal/sim and
+//     internal/engine take a context.Context first.
+//   - no-deprecated: the pre-engine suite entry points may not gain new
+//     callers (this rule replaced the CI grep gate).
+//
+// Two comment directives steer the rules:
+//
+//	//chirp:hotpath
+//	    in a function's doc comment marks it as a hot-path function
+//	    checked by hotpath-alloc and used as an obs-boundary root.
+//
+//	//chirp:allow <rule> <reason>
+//	    suppresses <rule>'s diagnostics on the directive's line, on the
+//	    following line, or — when it appears in a function's doc
+//	    comment — in the whole function. The reason is mandatory;
+//	    directives without one are themselves reported.
+//
+// Only non-test sources are analyzed: _test.go files may freely use
+// maps, wall clocks and deprecated compatibility wrappers.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, renderable as
+// "file:line:col: [rule] message".
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the canonical one-line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Rule is one named check over a loaded module.
+type Rule interface {
+	// Name is the rule's identifier in diagnostics, -rules selections
+	// and //chirp:allow directives.
+	Name() string
+	// Doc is a one-line description for chirpvet -list.
+	Doc() string
+	// Check analyzes the module and returns raw diagnostics;
+	// suppression directives are applied by the framework afterwards.
+	Check(m *Module) []Diagnostic
+}
+
+// Rules returns the full rule set in reporting order.
+func Rules() []Rule {
+	return []Rule{
+		&HotpathAllocRule{},
+		&ObsBoundaryRule{},
+		&DeterminismRule{},
+		&CtxFirstRule{},
+		&DeprecatedRule{},
+	}
+}
+
+// RuleNames returns the names of every registered rule.
+func RuleNames() []string {
+	rules := Rules()
+	names := make([]string, len(rules))
+	for i, r := range rules {
+		names[i] = r.Name()
+	}
+	return names
+}
+
+// SelectRules resolves a comma-separated -rules selection. An empty
+// selection means every rule.
+func SelectRules(selection string) ([]Rule, error) {
+	all := Rules()
+	if selection == "" {
+		return all, nil
+	}
+	byName := make(map[string]Rule, len(all))
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	var out []Rule
+	for _, name := range strings.Split(selection, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown rule %q (have %s)", name, strings.Join(RuleNames(), ", "))
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("analysis: empty rule selection %q", selection)
+	}
+	return out, nil
+}
+
+// Run executes the rules over the module, applies //chirp:allow
+// suppressions, folds in directive hygiene findings, and returns the
+// surviving diagnostics sorted by position.
+func Run(m *Module, rules []Rule) []Diagnostic {
+	var out []Diagnostic
+	for _, r := range rules {
+		for _, d := range r.Check(m) {
+			if !m.allowed(r.Name(), d.Pos) {
+				out = append(out, d)
+			}
+		}
+	}
+	out = append(out, m.directiveProblems...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// Directive names.
+const (
+	directiveHotpath = "//chirp:hotpath"
+	directiveAllow   = "//chirp:allow"
+)
+
+// allowRange is one //chirp:allow grant: rule suppressed over the
+// [fromLine, toLine] range of file.
+type allowRange struct {
+	file     string
+	rule     string
+	from, to int
+}
+
+// collectDirectives scans a parsed file for //chirp:hotpath and
+// //chirp:allow directives, recording hotpath annotations on their
+// functions, allow ranges, and hygiene problems (missing rule or
+// reason, unknown rule name).
+func (m *Module) collectDirectives(p *Package, f *ast.File) {
+	known := make(map[string]bool)
+	for _, n := range RuleNames() {
+		known[n] = true
+	}
+
+	// Map every comment to the FuncDecl whose doc group holds it, so
+	// doc-comment directives can take function scope.
+	docOf := make(map[*ast.Comment]*ast.FuncDecl)
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			docOf[c] = fd
+		}
+	}
+
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			switch {
+			case text == directiveHotpath || strings.HasPrefix(text, directiveHotpath+" "):
+				fd := docOf[c]
+				if fd == nil {
+					m.directiveProblems = append(m.directiveProblems, Diagnostic{
+						Pos:     m.Fset.Position(c.Pos()),
+						Rule:    "directive",
+						Message: "//chirp:hotpath must appear in a function's doc comment",
+					})
+					continue
+				}
+				m.hotpath[fd] = p
+			case strings.HasPrefix(text, directiveAllow):
+				rest := strings.TrimPrefix(text, directiveAllow)
+				if rest != "" && !strings.HasPrefix(rest, " ") {
+					continue // some other //chirp:allowXyz token; not ours
+				}
+				fields := strings.Fields(rest)
+				pos := m.Fset.Position(c.Pos())
+				if len(fields) == 0 {
+					m.directiveProblems = append(m.directiveProblems, Diagnostic{
+						Pos: pos, Rule: "directive",
+						Message: "//chirp:allow needs a rule name and a reason",
+					})
+					continue
+				}
+				rule := fields[0]
+				if !known[rule] {
+					m.directiveProblems = append(m.directiveProblems, Diagnostic{
+						Pos: pos, Rule: "directive",
+						Message: fmt.Sprintf("//chirp:allow names unknown rule %q (have %s)", rule, strings.Join(RuleNames(), ", ")),
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					m.directiveProblems = append(m.directiveProblems, Diagnostic{
+						Pos: pos, Rule: "directive",
+						Message: fmt.Sprintf("//chirp:allow %s needs a reason", rule),
+					})
+					continue
+				}
+				ar := allowRange{file: pos.Filename, rule: rule, from: pos.Line, to: pos.Line + 1}
+				if fd := docOf[c]; fd != nil {
+					ar.from = m.Fset.Position(fd.Pos()).Line
+					ar.to = m.Fset.Position(fd.End()).Line
+				}
+				m.allows = append(m.allows, ar)
+			}
+		}
+	}
+}
+
+// allowed reports whether a diagnostic of rule at pos is suppressed by
+// an in-scope //chirp:allow directive.
+func (m *Module) allowed(rule string, pos token.Position) bool {
+	for _, a := range m.allows {
+		if a.rule == rule && a.file == pos.Filename && pos.Line >= a.from && pos.Line <= a.to {
+			return true
+		}
+	}
+	return false
+}
+
+// HotpathFuncs returns the //chirp:hotpath-annotated declarations and
+// their packages.
+func (m *Module) HotpathFuncs() map[*ast.FuncDecl]*Package { return m.hotpath }

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsBoundaryRule enforces the observability contract from PR 4: the
+// simulation inner loops aggregate into plain struct counters, and
+// internal/obs is touched only at run boundaries (PublishMetrics and
+// the drivers around it). Concretely: no function reachable from a
+// //chirp:hotpath function through statically resolvable calls may
+// call into internal/obs — not even reads, since obs counters are
+// atomics and vec lookups take locks.
+//
+// Reachability follows direct function and concrete-method calls
+// within the module. Interface method calls are not expanded: the
+// policy callbacks a TLB makes are interface calls, and any policy
+// implementation that mutates obs per event is caught directly when
+// its own methods carry the //chirp:hotpath annotation.
+type ObsBoundaryRule struct{}
+
+// Name implements Rule.
+func (*ObsBoundaryRule) Name() string { return "obs-boundary" }
+
+// Doc implements Rule.
+func (*ObsBoundaryRule) Doc() string {
+	return "no internal/obs calls reachable from //chirp:hotpath functions; publish deltas at run boundaries"
+}
+
+// Check implements Rule.
+func (r *ObsBoundaryRule) Check(m *Module) []Diagnostic {
+	idx := moduleFuncIndex(m)
+	var out []Diagnostic
+	// visited memoizes per root so diagnostics name the hot root they
+	// were first reached from; a function shared by two roots reports
+	// against each.
+	for root, rootPkg := range m.HotpathFuncs() {
+		rootName := rootPkg.Types.Name() + "." + funcDisplayName(root)
+		visited := map[*ast.FuncDecl]bool{root: true}
+		r.walk(m, idx, root, rootPkg, rootName, visited, &out)
+	}
+	return out
+}
+
+// walk scans one function body for obs calls and recurses into
+// statically resolved module callees.
+func (r *ObsBoundaryRule) walk(m *Module, idx map[*types.Func]funcDeclIn, fd *ast.FuncDecl, p *Package, rootName string, visited map[*ast.FuncDecl]bool, out *[]Diagnostic) {
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return true
+		}
+		path := pkgPathOf(fn)
+		if isObsPackage(path) {
+			*out = append(*out, Diagnostic{
+				Pos:  m.Fset.Position(call.Pos()),
+				Rule: r.Name(),
+				Message: fmt.Sprintf("call to %s.%s is reachable from //chirp:hotpath function %s (in %s); aggregate locally and publish deltas at run boundaries",
+					pkgBase(path), fn.Name(), rootName, funcDisplayName(fd)),
+			})
+			return true
+		}
+		callee, ok := idx[fn]
+		if !ok || visited[callee.decl] {
+			return true
+		}
+		visited[callee.decl] = true
+		r.walk(m, idx, callee.decl, callee.pkg, rootName, visited, out)
+		return true
+	})
+}
+
+// isObsPackage reports whether an import path is the module's
+// internal/obs package (or a fixture standing in for it).
+func isObsPackage(path string) bool {
+	return path != "" && (strings.HasSuffix(path, "/internal/obs") || path == "internal/obs")
+}
+
+// pkgBase returns the last path segment for compact diagnostics.
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,36 @@
+// Package sim mirrors the real internal/sim layout so the ctx-first
+// rule's scope matching picks this fixture up.
+package sim
+
+import "context"
+
+// Run is correctly context-first.
+func Run(ctx context.Context, n int) error { return ctx.Err() }
+
+// RunLate takes its context second.
+func RunLate(n int, ctx context.Context) error { return ctx.Err() } // want "RunLate takes context.Context as parameter 1; it must be first"
+
+// Launch starts a goroutine without taking any context.
+func Launch(n int) { // want "Launch launches goroutines but does not take a context.Context first parameter"
+	go func() { _ = n }()
+}
+
+// Detach severs the caller's cancellation chain.
+func Detach(n int) error {
+	return work(context.Background(), n) // want "context.Background inside exported Detach"
+}
+
+func work(ctx context.Context, n int) error { return ctx.Err() }
+
+// Legacy is a compatibility wrapper whose allow documents why it may
+// mint its own context.
+//
+//chirp:allow ctx-first fixture: deprecated wrapper kept for source compatibility
+func Legacy(n int) error {
+	return work(context.Background(), n)
+}
+
+// helper is unexported: the rule leaves it alone.
+func helper(n int) error {
+	return work(context.Background(), n)
+}

@@ -1,0 +1,19 @@
+// Package app exercises the no-deprecated rule from the caller's side:
+// a direct call, a function-value reference the old grep gate could not
+// see, and an allowed legacy call.
+package app
+
+import sim "github.com/chirplab/chirp/internal/analysis/testdata/src/deprecated/internal/sim"
+
+// Sweep calls the banned entry points.
+func Sweep() int {
+	total := sim.RunSuiteTLBOnly(2) // want "RunSuiteTLBOnly is deprecated; use RunSuiteTLBOnlyCtx"
+	f := sim.RunSuiteTiming         // want "RunSuiteTiming is deprecated; use RunSuiteTimingCtx"
+	return total + f()
+}
+
+// Pinned documents why one legacy call remains.
+func Pinned() int {
+	//chirp:allow no-deprecated fixture: golden-output comparison against the legacy runner
+	return sim.RunSuiteTiming()
+}

@@ -1,0 +1,16 @@
+// Package sim mirrors the real internal/sim layout so the
+// no-deprecated rule's package-suffix matching treats these functions
+// as the banned entry points.
+package sim
+
+// RunSuiteTLBOnly stands in for the deprecated direct suite runner.
+// The recursive call is a self-reference, which the rule exempts.
+func RunSuiteTLBOnly(retries int) int {
+	if retries > 0 {
+		return RunSuiteTLBOnly(retries - 1)
+	}
+	return 0
+}
+
+// RunSuiteTiming stands in for the deprecated timing suite runner.
+func RunSuiteTiming() int { return 1 }

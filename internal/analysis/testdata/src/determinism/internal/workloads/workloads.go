@@ -1,0 +1,46 @@
+// Package workloads mirrors the real internal/workloads layout so the
+// determinism rule's scope matching picks this fixture up.
+package workloads
+
+import (
+	"math/rand" // want "import of math/rand in workloads"
+	"sort"
+	"time"
+)
+
+// Stamp leaks the wall clock into a result.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in workloads"
+}
+
+// Age leaks a wall-clock delta.
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in workloads"
+}
+
+// Shuffle uses the global math/rand stream; the import diagnostic
+// covers it.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Keys ranges over a map without sorting afterwards.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order is randomized per run"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts; the allow records why the range
+// order cannot escape.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//chirp:allow determinism fixture: keys are sorted before return
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

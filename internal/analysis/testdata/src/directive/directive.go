@@ -1,0 +1,21 @@
+// Package directive exercises the directive hygiene diagnostics the
+// framework reports alongside rule findings. The want comments sit on
+// their own lines (applying to the line above) because trailing text
+// would change how the directives parse.
+package directive
+
+var hot = 0
+
+//chirp:hotpath
+// want "must appear in a function's doc comment"
+
+//chirp:allow
+// want "needs a rule name and a reason"
+
+//chirp:allow no-such-rule because reasons
+// want "unknown rule"
+
+//chirp:allow determinism
+// want "needs a reason"
+
+func helper() { _ = hot }

@@ -1,0 +1,7 @@
+// Package obs is a fixture stand-in for the real internal/obs: the
+// obs-boundary rule matches any package path ending in internal/obs, so
+// the fixture needs no dependency on the real metrics registry.
+package obs
+
+// Count stands in for a metric mutation.
+func Count(n uint64) {}

@@ -1,0 +1,36 @@
+// Package obsflow exercises the obs-boundary rule: a direct obs call
+// inside a //chirp:hotpath root, a transitive one through an
+// unannotated helper, and an allowed publish site.
+package obsflow
+
+import "github.com/chirplab/chirp/internal/analysis/testdata/src/obsflow/internal/obs"
+
+var events uint64
+
+// step is a hot root that touches obs directly and through record.
+//
+//chirp:hotpath
+func step() {
+	obs.Count(1) // want "call to obs.Count is reachable from //chirp:hotpath function obsflow.step"
+	record()
+}
+
+// record is not annotated itself but is reachable from step.
+func record() {
+	events++
+	obs.Count(events) // want "call to obs.Count is reachable from //chirp:hotpath function obsflow.step"
+}
+
+// stepAllowed reaches obs only through the pinned publish below.
+//
+//chirp:hotpath
+func stepAllowed() {
+	publish()
+}
+
+// publish is the run-boundary flush; the allow documents that the
+// boundary itself is the one place obs may be touched.
+func publish() {
+	//chirp:allow obs-boundary fixture: run-boundary publish site
+	obs.Count(events)
+}

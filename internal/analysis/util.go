@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the concrete *types.Func it
+// invokes (plain call, method call, or qualified pkg.Func call).
+// Interface method calls resolve to the abstract method object; calls
+// through function-typed variables and built-ins return nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeBuiltin returns the name of the built-in a call invokes, or "".
+func calleeBuiltin(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// pkgPathOf returns the defining package path of an object ("" for
+// universe-scope objects).
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// inScope reports whether a package import path falls under one of the
+// module-relative scope suffixes (e.g. "internal/sim"). Both the real
+// module packages and testdata fixtures that mirror the layout match:
+// the path either is modPath/scope, ends with /scope, or contains
+// /scope/ as an interior segment.
+func inScope(pkgPath string, scopes []string) bool {
+	for _, s := range scopes {
+		if strings.HasSuffix(pkgPath, "/"+s) || strings.Contains(pkgPath, "/"+s+"/") || pkgPath == s {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && pkgPathOf(obj) == "context"
+}
+
+// isInterface reports whether t's underlying type is an interface
+// (type parameters excluded — converting to a type parameter does not
+// necessarily box).
+func isInterface(t types.Type) bool {
+	if _, ok := t.(*types.TypeParam); ok {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// isString reports whether t's core type is string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isByteOrRuneSlice reports whether t is []byte or []rune.
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// funcDisplayName renders a FuncDecl as Recv.Name or Name for
+// diagnostics.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	if star, ok := recv.(*ast.StarExpr); ok {
+		recv = star.X
+	}
+	if idx, ok := recv.(*ast.IndexExpr); ok { // generic receiver
+		recv = idx.X
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+// moduleFuncIndex maps every concrete function/method declared in the
+// module to its declaration and package, for call-graph walks.
+func moduleFuncIndex(m *Module) map[*types.Func]funcDeclIn {
+	idx := map[*types.Func]funcDeclIn{}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = funcDeclIn{decl: fd, pkg: p}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// funcDeclIn pairs a function declaration with its defining package.
+type funcDeclIn struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}

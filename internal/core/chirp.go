@@ -183,6 +183,8 @@ func (p *CHiRP) Attach(sets, ways int) {
 // branches and branch outcomes do not enter the signature — the paper
 // notes the signature "relies on bits from the branch PC, not
 // conditional branch outcomes or bits from branch targets".
+//
+//chirp:hotpath
 func (p *CHiRP) OnBranch(pc uint64, conditional, indirect, _ bool, _ uint64) {
 	switch {
 	case conditional:
@@ -198,6 +200,8 @@ func (p *CHiRP) OnBranch(pc uint64, conditional, indirect, _ bool, _ uint64) {
 
 // rawSignature combines the enabled features (paper Figure 5, line 5):
 // sign ← PC≫2 ⊕ pathHist ⊕ condBrHist ⊕ unCondBrHist.
+//
+//chirp:hotpath
 func (p *CHiRP) rawSignature(pc uint64) uint64 {
 	sig := pc >> 2
 	if p.cfg.UsePathHistory {
@@ -214,17 +218,23 @@ func (p *CHiRP) rawSignature(pc uint64) uint64 {
 
 // Signature returns the 16-bit hashed signature for pc under the
 // current histories (paper Figure 5, line 6).
+//
+//chirp:hotpath
 func (p *CHiRP) Signature(pc uint64) uint16 {
 	return uint16(policy.Mix64(p.rawSignature(pc)))
 }
 
 // index maps a 16-bit signature onto the prediction table.
+//
+//chirp:hotpath
 func (p *CHiRP) index(sig uint16) uint64 {
 	return uint64(sig) & uint64(p.cfg.TableEntries-1)
 }
 
 // predict applies the dead threshold (paper Figure 5, procedure
 // Predict) to the counter for sig, counting the table read.
+//
+//chirp:hotpath
 func (p *CHiRP) predict(sig uint16) bool {
 	p.reads++
 	return p.table.Read(p.index(sig)) > p.cfg.DeadThreshold
@@ -232,6 +242,8 @@ func (p *CHiRP) predict(sig uint16) bool {
 
 // train moves sig's counter toward dead or live (paper Figure 5,
 // procedure UpdatePredTable).
+//
+//chirp:hotpath
 func (p *CHiRP) train(sig uint16, dead bool) {
 	p.writes++
 	if dead {
@@ -252,6 +264,8 @@ func (p *CHiRP) train(sig uint16, dead bool) {
 // must neither push the path history (the triggering PC already did
 // when its demand access was observed) nor disturb the same-set latch
 // that filters consecutive demand hits.
+//
+//chirp:hotpath
 func (p *CHiRP) OnAccess(a *tlb.Access) {
 	if a.Prefetch {
 		p.curSig = p.Signature(a.PC)
@@ -271,6 +285,8 @@ func (p *CHiRP) OnAccess(a *tlb.Access) {
 // refresh the entry's signature; otherwise, on the entry's first hit,
 // the old signature trains toward live and the entry is re-predicted
 // under the new signature.
+//
+//chirp:hotpath
 func (p *CHiRP) OnHit(set uint32, way int, _ *tlb.Access) {
 	p.rec.Touch(set, way)
 	i := int(set)*p.ways + way
@@ -295,6 +311,8 @@ func (p *CHiRP) OnHit(set uint32, way int, _ *tlb.Access) {
 // GracefulDeadVictim — else the LRU entry, in which case the LRU
 // victim's signature trains toward dead (lines 10–12: the entry just
 // proved dead under that signature).
+//
+//chirp:hotpath
 func (p *CHiRP) Victim(set uint32, _ *tlb.Access) int {
 	base := int(set) * p.ways
 	if p.cfg.DeadBlockVictim {
@@ -326,6 +344,8 @@ func (p *CHiRP) Victim(set uint32, _ *tlb.Access) int {
 // OnInsert implements tlb.Policy: tag the new entry with the access's
 // signature, predict its fate from the table, and arm the first-hit
 // training filter.
+//
+//chirp:hotpath
 func (p *CHiRP) OnInsert(set uint32, way int, _ *tlb.Access) {
 	p.rec.Touch(set, way)
 	i := int(set)*p.ways + way

@@ -57,6 +57,8 @@ func newHistReg(length int, width uint) *histReg {
 
 // push shifts a new element into the history, ageing the rest and
 // updating the cached fold in O(1).
+//
+//chirp:hotpath
 func (h *histReg) push(v uint64) {
 	v &= 1<<h.width - 1
 	h.fold64 = bits.RotateLeft64(h.fold64, int(h.width)) ^ h.ring[h.pos]<<h.outShift ^ v
@@ -70,6 +72,8 @@ func (h *histReg) push(v uint64) {
 // fold returns the 64-bit folded value of the conceptual register:
 // element of age j sits at bit offset (j·width) mod 64. It is a field
 // read; foldSlow is the reference recomputation.
+//
+//chirp:hotpath
 func (h *histReg) fold() uint64 { return h.fold64 }
 
 // foldSlow recomputes the fold by walking the ring — the reference
@@ -190,23 +194,35 @@ func NewHistories(cfg HistoryConfig) *Histories {
 // UpdatePathHist): the two low-order PC bits (bits 2 and 3, the bits
 // the ADALINE study found most salient) enter the path history,
 // followed by two injected zeros when shift-and-scale is on.
+//
+//chirp:hotpath
 func (h *Histories) PushAccess(pc uint64) { h.path.push((pc >> 2) & 0x3) }
 
 // PushCond records a conditional branch (paper Figure 5, procedure
 // UpdateBrHist): PC bits [11:4].
+//
+//chirp:hotpath
 func (h *Histories) PushCond(pc uint64) { h.cond.push((pc >> 4) & 0xff) }
 
 // PushIndirect records an unconditional indirect branch: PC bits
 // [11:4] into the indirect history.
+//
+//chirp:hotpath
 func (h *Histories) PushIndirect(pc uint64) { h.ind.push((pc >> 4) & 0xff) }
 
 // Path returns the folded 64-bit path history.
+//
+//chirp:hotpath
 func (h *Histories) Path() uint64 { return h.path.fold() }
 
 // Cond returns the folded 64-bit conditional-branch history.
+//
+//chirp:hotpath
 func (h *Histories) Cond() uint64 { return h.cond.fold() }
 
 // Indirect returns the folded 64-bit indirect-branch history.
+//
+//chirp:hotpath
 func (h *Histories) Indirect() uint64 { return h.ind.fold() }
 
 // Reset clears all three registers.

@@ -34,6 +34,8 @@ func newL1Filter(cfg tlb.Config) (*l1Filter, error) {
 
 // access looks vpn up, updates recency, and fills on miss. It reports
 // whether the lookup hit.
+//
+//chirp:hotpath
 func (f *l1Filter) access(vpn uint64) bool {
 	set := vpn & f.mask
 	base := int(set) * f.ways

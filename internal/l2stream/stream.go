@@ -272,6 +272,8 @@ func (d *Decoder) NextBlock(evs []Event) int {
 // skipVarint advances past one varint without decoding its value —
 // the cheap path for payloads the access-only view discards (branch
 // target deltas).
+//
+//chirp:hotpath
 func skipVarint(buf []byte, pos int) (int, bool) {
 	for pos < len(buf) {
 		if buf[pos] < 0x80 {
@@ -285,6 +287,8 @@ func skipVarint(buf []byte, pos int) (int, bool) {
 // decodeVarint is binary.Varint open-coded against (buf, pos): no
 // subslice construction per call, and a branch-light fast path for the
 // one- and two-byte encodings that dominate delta streams.
+//
+//chirp:hotpath
 func decodeVarint(buf []byte, pos int) (int64, int, bool) {
 	if pos+1 < len(buf) {
 		b := buf[pos]

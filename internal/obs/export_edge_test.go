@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExportersEmptyRegistry pins the degenerate case both exporters
+// must handle: a registry with no metrics renders as nothing in the
+// Prometheus text format and as an empty object in the expvar-style
+// JSON view.
+func TestExportersEmptyRegistry(t *testing.T) {
+	reg := NewRegistry()
+
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatalf("WritePrometheus on empty registry: %v", err)
+	}
+	if prom.Len() != 0 {
+		t.Errorf("empty registry rendered Prometheus output:\n%s", prom.String())
+	}
+
+	var js bytes.Buffer
+	if err := reg.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON on empty registry: %v", err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(js.Bytes(), &out); err != nil {
+		t.Fatalf("empty-registry JSON does not parse: %v\n%s", err, js.String())
+	}
+	if len(out) != 0 {
+		t.Errorf("empty registry rendered JSON keys: %v", out)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucket-edge semantics: bounds
+// are upper-inclusive (Prometheus le semantics — a sample exactly on a
+// bound lands in that bound's bucket), unsorted bounds are sorted at
+// construction, and both exporters render the same cumulative counts.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	// Deliberately unsorted; the histogram must sort them.
+	h := reg.Histogram("lat", "latency", []float64{10, 1, 2.5})
+
+	for _, v := range []float64{1, 2.5, 10, 11, 0.5} {
+		h.Observe(v)
+	}
+
+	if got, want := h.Bounds(), []float64{1, 2.5, 10}; len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Bounds() = %v, want %v", got, want)
+	}
+	if got, want := h.BucketCounts(), []uint64{2, 1, 1, 1}; len(got) != 4 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] || got[3] != want[3] {
+		t.Fatalf("BucketCounts() = %v, want %v (bounds are upper-inclusive)", got, want)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count() = %d, want 5", h.Count())
+	}
+	if h.Sum() != 25 {
+		t.Fatalf("Sum() = %v, want 25", h.Sum())
+	}
+
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`lat_bucket{le="1"} 2`,
+		`lat_bucket{le="2.5"} 3`,
+		`lat_bucket{le="10"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_sum 25`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(prom.String(), line+"\n") {
+			t.Errorf("Prometheus output missing %q:\n%s", line, prom.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := reg.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Lat struct {
+			Count   uint64            `json:"count"`
+			Sum     float64           `json:"sum"`
+			Buckets map[string]uint64 `json:"buckets"`
+		} `json:"lat"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Lat.Count != 5 || out.Lat.Sum != 25 {
+		t.Errorf("JSON histogram count/sum = %d/%v, want 5/25", out.Lat.Count, out.Lat.Sum)
+	}
+	wantBuckets := map[string]uint64{"1": 2, "2.5": 3, "10": 4, "+Inf": 5}
+	for k, want := range wantBuckets {
+		if out.Lat.Buckets[k] != want {
+			t.Errorf("JSON bucket %q = %d, want %d", k, out.Lat.Buckets[k], want)
+		}
+	}
+}
+
+// manifestLines reads a manifest file into one parsed JSON object per
+// line.
+func manifestLines(t *testing.T, path string) []map[string]any {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var out []map[string]any
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("manifest line does not parse: %v\n%s", err, sc.Text())
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestManifestDeterministic writes the same run sequence into two
+// manifests and requires them to be byte-identical modulo the run ID
+// and the start/finish timestamps: everything forensics diffs on —
+// config hash, per-row deltas, totals, error strings — must be stable.
+func TestManifestDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string) string {
+		path := filepath.Join(dir, name)
+		reg := NewRegistry()
+		jobs := reg.Counter("jobs_total", "completed jobs")
+		misses := reg.GaugeVec("l2_misses", "post-warmup misses", "policy")
+		m, err := OpenManifest(path, reg, "suite=paper6 instr=400000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs.Add(1)
+		misses.With("lru").Set(120)
+		if err := m.Record("tlbonly", "w0", "lru", 1500*time.Millisecond, nil); err != nil {
+			t.Fatal(err)
+		}
+		jobs.Add(1)
+		misses.With("chirp").Set(90)
+		if err := m.Record("tlbonly", "w0", "chirp", 2500*time.Millisecond, errors.New("boom")); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	a := manifestLines(t, write("a.jsonl"))
+	b := manifestLines(t, write("b.jsonl"))
+	if len(a) != len(b) || len(a) != 4 {
+		t.Fatalf("manifest line counts: %d vs %d, want 4 (header, 2 rows, end)", len(a), len(b))
+	}
+
+	// The only permitted divergence: run_id, start, finish.
+	volatile := map[string]bool{"run_id": true, "start": true, "finish": true}
+	for i := range a {
+		for _, k := range []string{"run_id", "start", "finish"} {
+			if (a[i][k] == nil) != (b[i][k] == nil) {
+				t.Errorf("line %d: volatile field %q present in one manifest only", i, k)
+			}
+		}
+		na, nb := map[string]any{}, map[string]any{}
+		for k, v := range a[i] {
+			if !volatile[k] {
+				na[k] = v
+			}
+		}
+		for k, v := range b[i] {
+			if !volatile[k] {
+				nb[k] = v
+			}
+		}
+		ja, _ := json.Marshal(na)
+		jb, _ := json.Marshal(nb)
+		if !bytes.Equal(ja, jb) {
+			t.Errorf("line %d differs beyond run ID/timestamps:\n%s\n%s", i, ja, jb)
+		}
+	}
+
+	// Spot-check the semantic content of one run.
+	hdr := a[0]
+	if hdr["chirp_manifest"] != float64(manifestVersion) || hdr["config_hash"] == "" {
+		t.Errorf("malformed header: %v", hdr)
+	}
+	row := a[2]
+	if row["policy"] != "chirp" || row["err"] != "boom" || row["elapsed_s"] != 2.5 {
+		t.Errorf("malformed row: %v", row)
+	}
+	metrics, _ := row["metrics"].(map[string]any)
+	if metrics["jobs_total"] != float64(1) {
+		t.Errorf("row delta jobs_total = %v, want 1 (delta since previous row)", metrics["jobs_total"])
+	}
+	end := a[3]
+	totals, _ := end["totals"].(map[string]any)
+	if end["end"] != true || totals["jobs_total"] != float64(2) {
+		t.Errorf("malformed end line: %v", end)
+	}
+}

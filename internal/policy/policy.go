@@ -11,6 +11,8 @@ package policy
 // Mix64 is a 64-bit finalizer-style hash (splitmix64 finalizer). All
 // predictive policies use it to index their tables so aliasing is
 // uniform and reproducible.
+//
+//chirp:hotpath
 func Mix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
@@ -70,12 +72,18 @@ func (t *CounterTable) Size() int { return len(t.counters) }
 func (t *CounterTable) Max() uint8 { return t.max }
 
 // Index maps an arbitrary signature onto a table slot.
+//
+//chirp:hotpath
 func (t *CounterTable) Index(sig uint64) uint64 { return Mix64(sig) & t.mask }
 
 // Read returns the counter at idx.
+//
+//chirp:hotpath
 func (t *CounterTable) Read(idx uint64) uint8 { return t.counters[idx] }
 
 // Inc saturating-increments the counter at idx.
+//
+//chirp:hotpath
 func (t *CounterTable) Inc(idx uint64) {
 	if c := t.counters[idx]; c < t.max {
 		t.counters[idx] = c + 1
@@ -83,6 +91,8 @@ func (t *CounterTable) Inc(idx uint64) {
 }
 
 // Dec saturating-decrements the counter at idx.
+//
+//chirp:hotpath
 func (t *CounterTable) Dec(idx uint64) {
 	if c := t.counters[idx]; c > 0 {
 		t.counters[idx] = c - 1

@@ -53,6 +53,7 @@ var PaperPolicies = []string{"lru", "random", "srrip", "ship", "ghrp", "chirp"}
 func PolicyNames() []string {
 	m := builtinFactories()
 	names := make([]string, 0, len(m))
+	//chirp:allow determinism keys are sorted below before anything observes the order
 	for n := range m {
 		names = append(names, n)
 	}

@@ -92,39 +92,8 @@ func ReplayTLBOnly(stream *l2stream.Stream, l2p tlb.Policy, cfg TLBOnlyConfig) (
 	if err2 != nil {
 		return TLBOnlyResult{}, err2
 	}
-	// The per-event Access structs are hoisted out of the loop: they
-	// escape into the policy interface calls, and a loop-local struct
-	// would heap-allocate once per event.
-	var a2, pa tlb.Access
-	var warmStats tlb.Stats
-	for i := range evs {
-		ev := &evs[i]
-		switch ev.Kind {
-		case l2stream.EventInstrAccess, l2stream.EventDataAccess:
-			instr := ev.Kind == l2stream.EventInstrAccess
-			a2 = tlb.Access{PC: ev.PC, VPN: ev.VPN, Instr: instr}
-			if _, hit := l2.Lookup(&a2); !hit {
-				l2.Insert(&a2, ev.VPN)
-			}
-			if pf != nil {
-				// Same contract as RunTLBOnly: train on the full demand
-				// stream, fill through InsertPrefetch.
-				for _, pv := range pf.observe(ev.PC, ev.VPN) {
-					if l2.Contains(pv) {
-						continue
-					}
-					pa = tlb.Access{PC: ev.PC, VPN: pv, Instr: instr}
-					l2.InsertPrefetch(&pa, pv)
-				}
-			}
-		case l2stream.EventBranch:
-			if observesBranches {
-				bo.OnBranch(ev.PC, ev.Conditional, ev.Indirect, ev.Taken, ev.Target)
-			}
-		case l2stream.EventWarmup:
-			warmStats = l2.Stats()
-		}
-	}
+	rs := &replayState{l2: l2, pf: pf, bo: bo}
+	warmStats := rs.replayEvents(evs)
 
 	l2.FlushAccounting()
 	publishRun(l2p, l2)
@@ -148,6 +117,55 @@ func ReplayTLBOnly(stream *l2stream.Stream, l2p tlb.Policy, cfg TLBOnlyConfig) (
 		}
 	}
 	return res, nil
+}
+
+// replayState is the replay driver's inner-loop state. The event walk
+// is a method rather than inline code because it is //chirp:hotpath,
+// and the per-event Access structs live in the struct: they escape
+// into the policy interface calls, so a loop-local struct would
+// heap-allocate once per event.
+type replayState struct {
+	l2     *tlb.TLB
+	pf     *stridePrefetcher
+	bo     tlb.BranchObserver // nil when the policy ignores branches
+	a2, pa tlb.Access
+}
+
+// replayEvents drives the decoded event sequence through the L2 TLB
+// and returns the L2 stats latched at the warmup marker.
+//
+//chirp:hotpath
+func (r *replayState) replayEvents(evs []l2stream.Event) tlb.Stats {
+	var warmStats tlb.Stats
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case l2stream.EventInstrAccess, l2stream.EventDataAccess:
+			instr := ev.Kind == l2stream.EventInstrAccess
+			r.a2 = tlb.Access{PC: ev.PC, VPN: ev.VPN, Instr: instr}
+			if _, hit := r.l2.Lookup(&r.a2); !hit {
+				r.l2.Insert(&r.a2, ev.VPN)
+			}
+			if r.pf != nil {
+				// Same contract as RunTLBOnly: train on the full demand
+				// stream, fill through InsertPrefetch.
+				for _, pv := range r.pf.observe(ev.PC, ev.VPN) {
+					if r.l2.Contains(pv) {
+						continue
+					}
+					r.pa = tlb.Access{PC: ev.PC, VPN: pv, Instr: instr}
+					r.l2.InsertPrefetch(&r.pa, pv)
+				}
+			}
+		case l2stream.EventBranch:
+			if r.bo != nil {
+				r.bo.OnBranch(ev.PC, ev.Conditional, ev.Indirect, ev.Taken, ev.Target)
+			}
+		case l2stream.EventWarmup:
+			warmStats = r.l2.Stats()
+		}
+	}
+	return warmStats
 }
 
 // StreamVPNs extracts the L2 demand-access VPN sequence from a

@@ -109,6 +109,8 @@ func RunSuiteTLBOnlyCtx(ctx context.Context, ws []*workloads.Workload, pols []Na
 // Deprecated: use RunSuiteTLBOnlyCtx (or Run for a single cell). This
 // wrapper exists for source compatibility with pre-engine callers and
 // will not grow new options.
+//
+//chirp:allow ctx-first deprecated pre-engine wrapper; its signature cannot grow a ctx
 func RunSuiteTLBOnly(ws []*workloads.Workload, pols []NamedFactory, cfg TLBOnlyConfig, workers int) ([]SuiteResult, error) {
 	return RunSuiteTLBOnlyCtx(context.Background(), ws, pols, cfg, SuiteOptions{Workers: workers})
 }
@@ -139,6 +141,8 @@ func RunSuiteTimingCtx(ctx context.Context, ws []*workloads.Workload, pols []Nam
 //
 // Deprecated: use RunSuiteTimingCtx. This wrapper exists for source
 // compatibility with pre-engine callers and will not grow new options.
+//
+//chirp:allow ctx-first deprecated pre-engine wrapper; its signature cannot grow a ctx
 func RunSuiteTiming(ws []*workloads.Workload, pols []NamedFactory, cfg pipeline.Config, workers int) ([]TimingResult, error) {
 	return RunSuiteTimingCtx(context.Background(), ws, pols, cfg, SuiteOptions{Workers: workers})
 }

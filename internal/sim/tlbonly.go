@@ -111,43 +111,9 @@ func RunTLBOnly(src trace.Source, l2p tlb.Policy, cfg TLBOnlyConfig) (TLBOnlyRes
 		rec          trace.Record
 	)
 
-	var pf *stridePrefetcher
+	d := &directState{l2: l2}
 	if cfg.PrefetchDistance > 0 {
-		pf = newStridePrefetcher(cfg.PrefetchDistance)
-	}
-	// The Access structs escape into the policy interface calls;
-	// declaring them per call would heap-allocate once per record, so
-	// the closure reuses three hoisted structs instead (the L1 access
-	// keeps its own because l1.Insert needs the L1 set index after the
-	// L2 path overwrote a2's).
-	var a, a2, pa tlb.Access
-	access := func(l1 *tlb.TLB, pc, vpn uint64, instr bool) {
-		a = tlb.Access{PC: pc, VPN: vpn, Instr: instr}
-		if _, hit := l1.Lookup(&a); hit {
-			return
-		}
-		a2 = tlb.Access{PC: pc, VPN: vpn, Instr: instr}
-		if _, hit := l2.Lookup(&a2); !hit {
-			// Page walk; identity translation suffices for MPKI runs.
-			l2.Insert(&a2, vpn)
-		}
-		if pf != nil {
-			// The prefetcher observes the full L2 access stream (training
-			// on misses alone leaves stride gaps behind its own
-			// prefetches). Fills go through InsertPrefetch: it bypasses
-			// the demand hit/miss accounting but drives the policy's
-			// OnAccess for the prefetch access, so signature policies tag
-			// the prefetched page with its own fresh state (see the
-			// tlb.Policy prefetch contract).
-			for _, pv := range pf.observe(pc, vpn) {
-				if l2.Contains(pv) {
-					continue
-				}
-				pa = tlb.Access{PC: pc, VPN: pv, Instr: instr}
-				l2.InsertPrefetch(&pa, pv)
-			}
-		}
-		l1.Insert(&a, vpn)
+		d.pf = newStridePrefetcher(cfg.PrefetchDistance)
 	}
 
 	for src.Next(&rec) {
@@ -159,10 +125,10 @@ func RunTLBOnly(src trace.Source, l2p tlb.Policy, cfg TLBOnlyConfig) (TLBOnlyRes
 			warmInstrAt = instructions
 		}
 
-		access(l1i, rec.PC, rec.PC>>pageShift, true)
+		d.access(l1i, rec.PC, rec.PC>>pageShift, true)
 		switch {
 		case rec.Class.IsMemory():
-			access(l1d, rec.PC, rec.EA>>pageShift, false)
+			d.access(l1d, rec.PC, rec.EA>>pageShift, false)
 		case rec.Class.IsBranch():
 			if observesBranches {
 				bo.OnBranch(rec.PC,
@@ -201,6 +167,51 @@ func RunTLBOnly(src trace.Source, l2p tlb.Policy, cfg TLBOnlyConfig) (TLBOnlyRes
 		}
 	}
 	return res, nil
+}
+
+// directState is the direct driver's per-run inner-loop state. The
+// access path is a method rather than a closure because it is
+// //chirp:hotpath (closures are banned there), and the hoisted Access
+// structs live in the struct: they escape into the policy interface
+// calls, so declaring them per call would heap-allocate once per
+// record. The L1 access keeps its own struct because l1.Insert needs
+// the L1 set index after the L2 path overwrote a2's.
+type directState struct {
+	l2        *tlb.TLB
+	pf        *stridePrefetcher
+	a, a2, pa tlb.Access
+}
+
+// access sends one reference through an L1 TLB and, on miss, the L2.
+//
+//chirp:hotpath
+func (d *directState) access(l1 *tlb.TLB, pc, vpn uint64, instr bool) {
+	d.a = tlb.Access{PC: pc, VPN: vpn, Instr: instr}
+	if _, hit := l1.Lookup(&d.a); hit {
+		return
+	}
+	d.a2 = tlb.Access{PC: pc, VPN: vpn, Instr: instr}
+	if _, hit := d.l2.Lookup(&d.a2); !hit {
+		// Page walk; identity translation suffices for MPKI runs.
+		d.l2.Insert(&d.a2, vpn)
+	}
+	if d.pf != nil {
+		// The prefetcher observes the full L2 access stream (training
+		// on misses alone leaves stride gaps behind its own
+		// prefetches). Fills go through InsertPrefetch: it bypasses
+		// the demand hit/miss accounting but drives the policy's
+		// OnAccess for the prefetch access, so signature policies tag
+		// the prefetched page with its own fresh state (see the
+		// tlb.Policy prefetch contract).
+		for _, pv := range d.pf.observe(pc, vpn) {
+			if d.l2.Contains(pv) {
+				continue
+			}
+			d.pa = tlb.Access{PC: pc, VPN: pv, Instr: instr}
+			d.l2.InsertPrefetch(&d.pa, pv)
+		}
+	}
+	l1.Insert(&d.a, vpn)
 }
 
 // publishRun flushes a finished run's aggregated counters into the
@@ -278,18 +289,21 @@ type stridePrefetcher struct {
 	stride   [256]int64
 	conf     [256]uint8
 	valid    [256]bool
-	// scratch is reused across observe calls; callers must consume the
-	// returned slice before the next call.
+	// scratch is sized to distance at construction and reused across
+	// observe calls; callers must consume the returned slice before the
+	// next call.
 	scratch []uint64
 }
 
 func newStridePrefetcher(distance int) *stridePrefetcher {
-	return &stridePrefetcher{distance: distance}
+	return &stridePrefetcher{distance: distance, scratch: make([]uint64, distance)}
 }
 
 // observe records an L2 access and returns the VPNs to prefetch. The
 // returned slice aliases the prefetcher's scratch buffer and is only
 // valid until the next observe call.
+//
+//chirp:hotpath
 func (p *stridePrefetcher) observe(pc, vpn uint64) []uint64 {
 	idx := policy.Mix64(pc>>2) & 0xff
 	last, valid := p.lastVPN[idx], p.valid[idx]
@@ -315,15 +329,11 @@ func (p *stridePrefetcher) observe(pc, vpn uint64) []uint64 {
 	if p.conf[idx] < 2 {
 		return nil
 	}
-	if cap(p.scratch) < p.distance {
-		p.scratch = make([]uint64, 0, p.distance)
-	}
-	out := p.scratch[:0]
+	out := p.scratch
 	next := vpn
 	for d := 0; d < p.distance; d++ {
 		next += uint64(p.stride[idx])
-		out = append(out, next)
+		out[d] = next
 	}
-	p.scratch = out
 	return out
 }

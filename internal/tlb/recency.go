@@ -63,6 +63,8 @@ func NewRecency(sets, ways int) *Recency {
 }
 
 // Touch moves way to the MRU position of set.
+//
+//chirp:hotpath
 func (r *Recency) Touch(set uint32, way int) {
 	if r.word != nil {
 		x := r.word[set]
@@ -89,6 +91,8 @@ func (r *Recency) Touch(set uint32, way int) {
 }
 
 // LRU returns the way currently at the least-recently-used position.
+//
+//chirp:hotpath
 func (r *Recency) LRU(set uint32) int {
 	if r.word != nil {
 		// Positions form a permutation of 0..ways-1, so exactly one
@@ -109,6 +113,8 @@ func (r *Recency) LRU(set uint32) int {
 }
 
 // Position returns way's current stack position (0 = MRU).
+//
+//chirp:hotpath
 func (r *Recency) Position(set uint32, way int) int {
 	if r.word != nil {
 		return int((r.word[set] >> (uint(way) * 8)) & 0xFF)

@@ -217,11 +217,15 @@ func (t *TLB) Policy() Policy { return t.policy }
 func (t *TLB) Sets() int { return t.sets }
 
 // SetIndex returns the set an access to vpn maps to.
+//
+//chirp:hotpath
 func (t *TLB) SetIndex(vpn uint64) uint32 { return uint32(vpn & t.setMask) }
 
 // Lookup probes the TLB for vpn. On a hit it returns the cached PPN.
 // It never fills; pair with Insert on miss. The policy observes the
 // access either way.
+//
+//chirp:hotpath
 func (t *TLB) Lookup(a *Access) (ppn uint64, hit bool) {
 	t.now++
 	t.stats.Accesses++
@@ -260,6 +264,8 @@ func (t *TLB) Lookup(a *Access) (ppn uint64, hit bool) {
 // same Access. It prefers an invalid way; otherwise it asks the policy
 // for a victim. It reports whether a valid entry was evicted and, if
 // so, its VPN.
+//
+//chirp:hotpath
 func (t *TLB) Insert(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
 	t.stats.Inserts++
 	base := int(a.Set) * t.ways
@@ -277,6 +283,7 @@ func (t *TLB) Insert(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
 	if way < 0 {
 		way = t.policy.Victim(a.Set, a)
 		if way < 0 || way >= t.ways {
+			//chirp:allow hotpath-alloc reached only on a policy bug; the process is about to die
 			panic(fmt.Sprintf("tlb %q: policy %s returned invalid victim way %d", t.cfg.Name, t.policy.Name(), way))
 		}
 		e := &t.entries[base+way]
@@ -303,6 +310,8 @@ func (t *TLB) Insert(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
 // instead of reusing whatever the last demand access latched.
 // Callers should probe Contains first; inserting an already-resident
 // VPN duplicates the entry.
+//
+//chirp:hotpath
 func (t *TLB) InsertPrefetch(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
 	t.stats.PrefetchInserts++
 	a.Prefetch = true
@@ -340,6 +349,8 @@ func (t *TLB) FlushASID(asid uint16) {
 }
 
 // retire folds a finished entry lifetime into the efficiency counters.
+//
+//chirp:hotpath
 func (t *TLB) retire(e *entry) {
 	if !e.valid {
 		return
