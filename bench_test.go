@@ -341,6 +341,47 @@ func BenchmarkReplayTLBOnly(b *testing.B) {
 	}
 }
 
+// BenchmarkReplayMulti compares the fused single-pass kernel against
+// the same policies replayed independently over one captured stream.
+// "independent" is N full decode-view passes (one per policy);
+// "fused" is one pass driving all N TLBs per event. The ratio is the
+// per-workload replay speedup a multi-policy sweep sees.
+func BenchmarkReplayMulti(b *testing.B) {
+	cfg := sim.DefaultTLBOnlyConfig(400_000)
+	stream, err := l2stream.Capture(streamBenchSource(cfg), sim.CaptureConfig(cfg), l2stream.CaptureOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stream.Close()
+	build := func() []tlb.Policy {
+		pols := make([]tlb.Policy, len(streamBenchPolicies))
+		for i, name := range streamBenchPolicies {
+			p, err := sim.NewPolicy(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pols[i] = p
+		}
+		return pols
+	}
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range build() {
+				if _, err := sim.ReplayTLBOnly(stream, p, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.ReplayMulti(stream, build(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkStreamCapture measures the encode side: one full
 // generate + L1-filter + delta/varint-encode pass.
 func BenchmarkStreamCapture(b *testing.B) {
@@ -450,6 +491,51 @@ func BenchmarkSweepPolicies(b *testing.B) {
 		}
 		b.Run(set.name+"/direct", func(b *testing.B) { run(b, -1) })
 		b.Run(set.name+"/capture-replay", func(b *testing.B) { run(b, 0) })
+	}
+}
+
+// BenchmarkSweepPersistent is the warm-store sweep: the Figure 7
+// policy set over a capture directory populated before the timer, with
+// a fresh cache per iteration (standing in for a fresh process). Every
+// iteration therefore loads each workload's stream from disk and runs
+// one fused replay per workload — zero captures, which is what a
+// second `chirpexp -capturedir` run pays.
+func BenchmarkSweepPersistent(b *testing.B) {
+	ws := workloads.SuiteN(8)
+	cfg := sim.DefaultTLBOnlyConfig(400_000)
+	pols, err := sim.Factories([]string{"lru", "random", "srrip", "ship", "ghrp", "chirp"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	warm, err := l2stream.NewPersistent(0, dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sim.RunSuiteTLBOnlyCtx(context.Background(), ws, pols[:1], cfg,
+		sim.SuiteOptions{Workers: 1, StreamCache: warm}); err != nil {
+		b.Fatal(err)
+	}
+	if err := warm.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache, err := l2stream.NewPersistent(0, dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := sim.RunSuiteTLBOnlyCtx(context.Background(), ws, pols, cfg,
+			sim.SuiteOptions{Workers: 1, StreamCache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) != len(ws)*len(pols) {
+			b.Fatalf("got %d results", len(rs))
+		}
+		if err := cache.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

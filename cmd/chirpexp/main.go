@@ -42,6 +42,7 @@ func run() int {
 	penalty := flag.Uint64("penalty", 150, "L2 TLB miss penalty in cycles for timing experiments")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	l2cache := flag.Int64("l2cache", 0, "L2 event-stream cache budget in MiB, shared across the selected experiments (0 = 256 MiB default, negative = per-experiment caches only)")
+	capturedir := flag.String("capturedir", "", "persistent capture directory: captured L2 event streams are stored here (content-addressed) and reused by later runs in any process sharing the directory")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file: completed (workload, policy) runs are restored from it and new ones appended, so a killed sweep resumes where it stopped")
 	metricsAddr := flag.String("metrics", "", "serve /metrics (Prometheus), /debug/vars (JSON) and /debug/pprof on this address (e.g. localhost:8080)")
 	manifest := flag.String("manifest", "", "append a JSONL run manifest (run identity + per-job metric deltas) to this file")
@@ -106,8 +107,20 @@ func run() int {
 	if *l2cache >= 0 {
 		// One shared stream cache means `-exp all` captures each
 		// workload's L2 event stream once across every MPKI experiment
-		// (the experiments own per-call caches when this is nil).
-		streams := l2stream.NewCache(*l2cache<<20, "")
+		// (the experiments own per-call caches when this is nil). With
+		// -capturedir the captures also persist on disk, so a re-run
+		// (or another process) skips the capture passes entirely.
+		var streams *l2stream.Cache
+		if *capturedir != "" {
+			var err error
+			streams, err = l2stream.NewPersistent(*l2cache<<20, *capturedir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chirpexp: %v\n", err)
+				return 1
+			}
+		} else {
+			streams = l2stream.NewCache(*l2cache<<20, "")
+		}
 		defer streams.Close()
 		o.StreamCache = streams
 	}

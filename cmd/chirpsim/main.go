@@ -43,6 +43,7 @@ func run() int {
 	describe := flag.Bool("describe", false, "print the workload's program model as JSON and exit")
 	workers := flag.Int("workers", 0, "parallel policy runs (0 = GOMAXPROCS)")
 	l2cache := flag.Int64("l2cache", 0, "L2 event-stream cache budget in MiB for TLB-only runs: the trace is generated and L1-filtered once and replayed per policy (0 = 256 MiB default, negative = disable capture/replay)")
+	capturedir := flag.String("capturedir", "", "persistent capture directory: captured L2 event streams are stored here (content-addressed) and reused by later runs in any process sharing the directory")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; completed policies are restored, not re-run")
 	metricsAddr := flag.String("metrics", "", "serve /metrics (Prometheus), /debug/vars (JSON) and /debug/pprof on this address (e.g. localhost:8080)")
 	manifest := flag.String("manifest", "", "append a JSONL run manifest (run identity + per-job metric deltas) to this file")
@@ -169,55 +170,97 @@ func run() int {
 	// per-instruction stream, so -timing stays on the direct path).
 	var streams *l2stream.Cache
 	if !*timing && *l2cache >= 0 {
-		streams = l2stream.NewCache(*l2cache<<20, "")
+		if *capturedir != "" {
+			streams, err = l2stream.NewPersistent(*l2cache<<20, *capturedir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
+				return 1
+			}
+		} else {
+			streams = l2stream.NewCache(*l2cache<<20, "")
+		}
 		defer streams.Close()
 	}
 
-	// One engine job per policy; results stay in -policies order, so
-	// the first policy remains the comparison baseline.
-	jobs := make([]engine.Job[policyRow], 0, len(factories))
-	for _, f := range factories {
-		f := f
-		jobs = append(jobs, engine.Job[policyRow]{
-			Key: engine.Key{Workload: subject, Policy: f.Name},
-			Run: func(jctx context.Context) (policyRow, error) {
-				if *timing {
-					src, err := openSource()
-					if err != nil {
-						return policyRow{}, err
-					}
-					m, err := pipeline.New(pipeline.DefaultConfig(*instr, *penalty), f.New(),
-						func() tlb.Policy { return policy.NewLRU() })
-					if err != nil {
-						return policyRow{}, err
-					}
-					res, err := m.Run(src)
-					if err != nil {
-						return policyRow{}, err
-					}
-					return policyRow{MPKI: res.MPKI, IPC: res.IPC, BranchAccuracy: res.BranchAccuracy}, nil
-				}
-				// sim.Run picks capture/replay when the stream cache is on
-				// (the first policy's job captures, the rest replay the
-				// shared stream) and the direct path otherwise.
-				res, err := sim.Run(jctx, sim.RunSpec{
+	var results []policyRow
+	if streams != nil {
+		// Fused TLB-only path: one engine job captures (or loads) the
+		// stream and replays every policy's TLB in a single pass over
+		// the event view (sim.ReplayMulti). Rows stay in -policies
+		// order, so the first policy remains the comparison baseline.
+		pf := make([]sim.PolicyFactory, len(factories))
+		for i, f := range factories {
+			pf[i] = f.New
+		}
+		jobs := []engine.Job[[]policyRow]{{
+			Key: engine.Key{Workload: subject, Policy: strings.Join(names, "+")},
+			Run: func(jctx context.Context) ([]policyRow, error) {
+				rs, err := sim.RunMulti(jctx, sim.RunSpec{
 					Name:   subject,
 					Open:   openSource,
-					Policy: f.New,
 					Config: sim.DefaultTLBOnlyConfig(*instr),
 					Cache:  streams,
-				})
+				}, pf)
 				if err != nil {
-					return policyRow{}, err
+					return nil, err
 				}
-				return policyRow{MPKI: res.MPKI, Efficiency: res.Efficiency, TableRate: res.TableAccessRate}, nil
+				rows := make([]policyRow, len(rs))
+				for i, res := range rs {
+					rows[i] = policyRow{MPKI: res.MPKI, Efficiency: res.Efficiency, TableRate: res.TableAccessRate}
+				}
+				return rows, nil
 			},
-		})
-	}
-	results, err := engine.Run(ctx, jobs, cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
-		return 1
+		}}
+		grouped, err := engine.Run(ctx, jobs, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
+			return 1
+		}
+		results = grouped[0]
+	} else {
+		// One engine job per policy; results stay in -policies order.
+		jobs := make([]engine.Job[policyRow], 0, len(factories))
+		for _, f := range factories {
+			f := f
+			jobs = append(jobs, engine.Job[policyRow]{
+				Key: engine.Key{Workload: subject, Policy: f.Name},
+				Run: func(jctx context.Context) (policyRow, error) {
+					if *timing {
+						src, err := openSource()
+						if err != nil {
+							return policyRow{}, err
+						}
+						m, err := pipeline.New(pipeline.DefaultConfig(*instr, *penalty), f.New(),
+							func() tlb.Policy { return policy.NewLRU() })
+						if err != nil {
+							return policyRow{}, err
+						}
+						res, err := m.Run(src)
+						if err != nil {
+							return policyRow{}, err
+						}
+						return policyRow{MPKI: res.MPKI, IPC: res.IPC, BranchAccuracy: res.BranchAccuracy}, nil
+					}
+					// Capture/replay is off (negative -l2cache): the direct
+					// path runs the full trace per policy.
+					res, err := sim.Run(jctx, sim.RunSpec{
+						Name:   subject,
+						Open:   openSource,
+						Policy: f.New,
+						Config: sim.DefaultTLBOnlyConfig(*instr),
+					})
+					if err != nil {
+						return policyRow{}, err
+					}
+					return policyRow{MPKI: res.MPKI, Efficiency: res.Efficiency, TableRate: res.TableAccessRate}, nil
+				},
+			})
+		}
+		results, err = engine.Run(ctx, jobs, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
+			return 1
+		}
 	}
 
 	var rows [][]string

@@ -38,6 +38,7 @@ func run() int {
 	instr := flag.Uint64("instr", 1_000_000, "instructions per trace")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	l2cache := flag.Int64("l2cache", 0, "L2 event-stream cache budget in MiB, shared across every sweep point (0 = 256 MiB default, negative = disable capture/replay)")
+	capturedir := flag.String("capturedir", "", "persistent capture directory: captured L2 event streams are stored here (content-addressed) and reused by later runs in any process sharing the directory")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; a killed sweep resumes where it stopped")
 	metricsAddr := flag.String("metrics", "", "serve /metrics (Prometheus), /debug/vars (JSON) and /debug/pprof on this address (e.g. localhost:8080)")
 	manifest := flag.String("manifest", "", "append a JSONL run manifest (run identity + per-job metric deltas) to this file")
@@ -90,8 +91,20 @@ func run() int {
 		// Sweep points vary only the L2 policy and geometry, which the
 		// captured stream is invariant to — one cache serves every
 		// measure() call below, so each workload's trace is generated
-		// and L1-filtered once for the whole sweep.
-		streams := l2stream.NewCache(*l2cache<<20, "")
+		// and L1-filtered once for the whole sweep. With -capturedir the
+		// captures also persist on disk, so a re-run (or another
+		// process) skips the capture passes entirely.
+		var streams *l2stream.Cache
+		if *capturedir != "" {
+			var err error
+			streams, err = l2stream.NewPersistent(*l2cache<<20, *capturedir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
+				return 1
+			}
+		} else {
+			streams = l2stream.NewCache(*l2cache<<20, "")
+		}
 		defer streams.Close()
 		opts.StreamCache = streams
 	} else {

@@ -152,8 +152,17 @@ func Run[T any](ctx context.Context, jobs []Job[T], cfg Config) ([]T, error) {
 		errs []*JobError
 	)
 	fail := func(i int, key Key, err error) {
+		// A job that returns a *JobError directly has attributed its
+		// failure to a finer-grained key (a fused multi-policy job
+		// blaming one policy's cell); keep that attribution instead of
+		// re-wrapping it under the job's own key.
+		je, ok := err.(*JobError)
+		if !ok {
+			je = &JobError{Key: key, Err: err}
+		}
+		je.index = i
 		mu.Lock()
-		errs = append(errs, &JobError{Key: key, Err: err, index: i})
+		errs = append(errs, je)
 		mu.Unlock()
 		cancel() // first failure stops dispatch; in-flight jobs drain
 	}
@@ -163,8 +172,11 @@ func Run[T any](ctx context.Context, jobs []Job[T], cfg Config) ([]T, error) {
 		obsJobsInFlight.Inc()
 		res, err := protect(runCtx, j)
 		obsJobsInFlight.Dec()
+		// Keep whatever the job produced even when it also failed: a
+		// fused job returns the rows of its healthy policies alongside
+		// the error blaming the broken one. Only successes checkpoint.
+		results[i] = res
 		if err == nil {
-			results[i] = res
 			if cfg.Checkpoint != nil {
 				if cerr := cfg.Checkpoint.Put(j.Key, res); cerr != nil {
 					err = fmt.Errorf("checkpointing result: %w", cerr)

@@ -13,11 +13,27 @@ import (
 // instrumenting them directly costs nothing measurable. The gauges
 // accumulate additively, so several live caches report their combined
 // residency.
+//
+// Hit accounting is honest about latency: a GetOrCapture call that
+// found a finished stream is a hit; a call that ran the capture is a
+// miss; a call that blocked on another goroutine's in-flight capture
+// paid full capture latency and counts as a wait — not a hit — so the
+// hit ratio in run manifests reflects what callers actually
+// experienced. Disk hits are captures avoided entirely by loading a
+// previous process's persisted stream from the capture directory.
 var (
 	obsCacheHits = obs.Default.Counter("chirp_l2stream_cache_hits_total",
 		"GetOrCapture calls served from an already-captured stream.")
 	obsCacheMisses = obs.Default.Counter("chirp_l2stream_cache_misses_total",
 		"GetOrCapture calls that ran a capture.")
+	obsCacheWaits = obs.Default.Counter("chirp_l2stream_cache_waits_total",
+		"GetOrCapture calls that blocked on another goroutine's in-flight capture.")
+	obsCacheDiskHits = obs.Default.Counter("chirp_l2stream_cache_disk_hits_total",
+		"GetOrCapture calls served by loading a persisted capture from the capture directory.")
+	obsCacheDiskWrites = obs.Default.Counter("chirp_l2stream_cache_disk_writes_total",
+		"Captures persisted to the capture directory.")
+	obsCacheDiskErrors = obs.Default.Counter("chirp_l2stream_cache_disk_errors_total",
+		"Failed persistent-store reads or writes (the run continues on the in-memory tier).")
 	obsCacheSpills = obs.Default.Counter("chirp_l2stream_cache_spills_total",
 		"Captures that overflowed the byte budget and spilled to disk.")
 	obsCacheEvictions = obs.Default.Counter("chirp_l2stream_cache_evictions_total",
@@ -46,31 +62,47 @@ type Key struct {
 // Cache memoises captured streams under an LRU byte budget, with
 // single-flight capture: concurrent GetOrCapture calls for the same
 // key run the capture once and share the result — exactly the shape
-// the engine produces, since it dispatches a workload's per-policy
-// jobs to different workers back to back.
+// the engine produces, since it dispatches a workload's jobs to
+// different workers back to back.
+//
+// A cache built with NewPersistent additionally keeps a
+// content-addressed on-disk tier (see store): captures are persisted
+// under their key fingerprint, and later caches — including ones in
+// other processes, on other days — load those files instead of
+// re-capturing. The spill fallback feeds the same tier: a spilled
+// capture's record file is adopted into the store rather than
+// deleted at Close.
 //
 // Spilled streams cost the cache (almost) nothing in memory and are
-// never evicted; their files are deleted by Close. Evicting an
-// in-memory stream only drops the cache's reference — replays already
-// holding the stream keep working, and the bytes are reclaimed when
-// they finish.
+// never evicted; their files are deleted by Close — deferred past any
+// replay still holding the file (Stream.RetainSpill), and skipped
+// entirely for store-owned files. Evicting an in-memory stream only
+// drops the cache's reference — replays already holding the stream
+// keep working, and the bytes are reclaimed when they finish.
 type Cache struct {
 	mu      sync.Mutex
 	budget  int64
 	dir     string
+	store   *store
 	used    int64
 	tick    uint64
 	entries map[Key]*cacheEntry
 	spills  []*Stream
 }
 
+// cacheEntry is one single-flight slot. The owning goroutine (the one
+// that created the entry) runs the capture, publishes stream/err, and
+// closes done; everyone else blocks on done. A failed capture deletes
+// the entry from the map before closing done, so woken waiters—and
+// any caller that read the entry just before the failure—re-check the
+// map and retry instead of inheriting the memoized error forever.
 type cacheEntry struct {
-	once    sync.Once
+	done    chan struct{} // closed once stream/err below are final
 	stream  *Stream
 	err     error
 	lastUse uint64
 	bytes   int64
-	done    bool
+	ready   bool // capture succeeded; stream is resident
 }
 
 // NewCache returns a cache with the given in-memory byte budget
@@ -83,65 +115,135 @@ func NewCache(budget int64, dir string) *Cache {
 	return &Cache{budget: budget, dir: dir, entries: map[Key]*cacheEntry{}}
 }
 
+// NewPersistent returns a cache backed by a persistent capture
+// directory: every capture is also written there (content-addressed
+// by key fingerprint + codec version, staged and atomically renamed),
+// and GetOrCapture consults the directory before capturing, so sweeps
+// across processes reuse captures instead of re-capturing. Spill
+// files are created inside the directory too, which keeps their
+// adoption into the store a same-filesystem rename.
+func NewPersistent(budget int64, captureDir string) (*Cache, error) {
+	st, err := newStore(captureDir)
+	if err != nil {
+		return nil, err
+	}
+	c := NewCache(budget, captureDir)
+	c.store = st
+	return c, nil
+}
+
 // Budget returns the cache's in-memory byte budget.
 func (c *Cache) Budget() int64 { return c.budget }
 
 // GetOrCapture returns the cached stream for key, running capture
 // (once, even under concurrent callers) to produce it on first use.
 // The CaptureOptions passed to capture carry the cache's byte budget
-// and spill directory. A failed capture is not cached: the next caller
-// retries.
+// and spill directory. A failed capture is not cached: every caller
+// that observed the failure — including ones that were already
+// blocked on it — retries through a fresh entry.
 func (c *Cache) GetOrCapture(key Key, capture func(CaptureOptions) (*Stream, error)) (*Stream, error) {
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if !ok {
-		e = &cacheEntry{}
-		c.entries[key] = e
-	}
-	c.mu.Unlock()
-
-	ran := false
-	e.once.Do(func() {
-		ran = true
-		obsCacheMisses.Inc()
-		start := time.Now()
-		e.stream, e.err = capture(CaptureOptions{MaxBytes: c.budget, SpillDir: c.dir})
-		obsCaptureSeconds.Observe(time.Since(start).Seconds())
+	for {
 		c.mu.Lock()
-		defer c.mu.Unlock()
-		if e.err != nil {
-			// Drop the failed entry so a later caller can retry (unless a
-			// retry already replaced it).
-			if c.entries[key] == e {
-				delete(c.entries, key)
+		e, ok := c.entries[key]
+		if !ok {
+			e = &cacheEntry{done: make(chan struct{})}
+			c.entries[key] = e
+			c.mu.Unlock()
+			return c.runCapture(key, e, capture)
+		}
+		c.mu.Unlock()
+
+		select {
+		case <-e.done:
+			// Finished before this caller arrived: a plain hit (or a
+			// failure memo, handled below).
+			if e.err == nil {
+				obsCacheHits.Inc()
 			}
-			return
+		default:
+			// In flight: this caller pays the full capture latency, so
+			// it is a wait, not a hit.
+			obsCacheWaits.Inc()
+			<-e.done
 		}
-		e.done = true
-		e.bytes = e.stream.FootprintBytes()
-		c.used += e.bytes
-		obsCacheBytes.Add(e.bytes)
-		obsCacheStreams.Inc()
-		if e.stream.Spilled() {
-			obsCacheSpills.Inc()
-			c.spills = append(c.spills, e.stream)
+		if e.err != nil {
+			// The owner deleted the failed entry before closing done;
+			// loop to re-check the map and retry (or join a retry
+			// already in flight).
+			continue
 		}
-		c.evictLocked(key)
-	})
-	if e.err != nil {
-		return nil, e.err
+		c.mu.Lock()
+		c.tick++
+		e.lastUse = c.tick
+		c.mu.Unlock()
+		return e.stream, nil
 	}
-	if !ran {
-		// Served from the memo: either a finished capture or one this
-		// caller waited on another goroutine to finish.
-		obsCacheHits.Inc()
+}
+
+// runCapture is the owning goroutine's path: load from the persistent
+// tier if one is attached, capture otherwise, publish the outcome,
+// and wake the waiters. stream/err are published before done is
+// closed, so waiters may read them without the lock.
+func (c *Cache) runCapture(key Key, e *cacheEntry, capture func(CaptureOptions) (*Stream, error)) (*Stream, error) {
+	defer close(e.done)
+	if c.store != nil {
+		s, err := c.store.load(key)
+		if err != nil {
+			obsCacheDiskErrors.Inc() // degrade to a recapture
+		}
+		if s != nil {
+			obsCacheDiskHits.Inc()
+			c.commit(key, e, s)
+			return s, nil
+		}
 	}
 
+	obsCacheMisses.Inc()
+	start := time.Now()
+	s, err := capture(CaptureOptions{MaxBytes: c.budget, SpillDir: c.dir})
+	obsCaptureSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		c.mu.Lock()
+		e.err = err
+		// Drop the failed entry so every later (and currently waiting)
+		// caller retries against a fresh one.
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	if s.Spilled() {
+		obsCacheSpills.Inc()
+	}
+	if c.store != nil {
+		if serr := c.store.save(key, s); serr != nil {
+			obsCacheDiskErrors.Inc()
+		} else {
+			obsCacheDiskWrites.Inc()
+		}
+	}
+	c.commit(key, e, s)
+	return s, nil
+}
+
+// commit publishes a successful capture (or persisted-tier load) into
+// the entry, accounts its footprint, and rebalances the budget.
+func (c *Cache) commit(key Key, e *cacheEntry, s *Stream) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.stream = s
+	e.ready = true
+	e.bytes = s.FootprintBytes()
+	c.used += e.bytes
+	obsCacheBytes.Add(e.bytes)
+	obsCacheStreams.Inc()
+	if s.Spilled() {
+		c.spills = append(c.spills, s)
+	}
+	c.evictLocked(key)
 	c.tick++
 	e.lastUse = c.tick
-	c.mu.Unlock()
-	return e.stream, nil
 }
 
 // evictLocked drops least-recently-used completed in-memory entries
@@ -152,7 +254,7 @@ func (c *Cache) evictLocked(keep Key) {
 		var victimKey Key
 		var victim *cacheEntry
 		for k, e := range c.entries {
-			if k == keep || !e.done || e.bytes == 0 {
+			if k == keep || !e.ready || e.bytes == 0 {
 				continue
 			}
 			if victim == nil || e.lastUse < victim.lastUse {
@@ -185,15 +287,18 @@ func (c *Cache) Used() int64 {
 	return c.used
 }
 
-// Close drops every entry and deletes all spill files the cache ever
-// produced. It is not safe to race Close with GetOrCapture.
+// Close drops every entry and deletes the cache's spill files —
+// except files the persistent store owns, which later processes will
+// reuse, and except files a replay still holds retained, which delete
+// when the replay releases them. It is not safe to race Close with
+// GetOrCapture.
 func (c *Cache) Close() error {
 	c.mu.Lock()
 	spills := c.spills
 	c.spills = nil
 	resident := int64(0)
 	for _, e := range c.entries {
-		if e.done {
+		if e.ready {
 			resident++
 		}
 	}

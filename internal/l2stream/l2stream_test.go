@@ -137,6 +137,37 @@ func TestCaptureMatchesReference(t *testing.T) {
 	}
 }
 
+// TestFixedDecoderMatchesDecode pins the persistent-store sidecar
+// decode (FixedDecoder, what fused replays of loaded streams walk) to
+// the varint round-trip, field for field. Any divergence here would
+// silently break fused/solo bit-identity across a store round-trip.
+func TestFixedDecoderMatchesDecode(t *testing.T) {
+	recs := testRecords(5000)
+	cfg := testConfig(8000)
+	s, err := Capture(trace.NewSliceSource(recs), cfg, CaptureOptions{})
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	if _, ok := s.DecodeFixed(); ok {
+		t.Fatal("fresh capture must not carry a sidecar")
+	}
+	want, err := s.DecodeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := FixedDecoder{data: encodeSidecar(want), pageShift: cfg.PageShift}
+	got := make([]Event, len(want)+1)
+	n := fd.NextBlock(got)
+	if n != len(want) {
+		t.Fatalf("FixedDecoder produced %d events, want %d", n, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sidecar event %d = %+v, decoded %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestCaptureScalars(t *testing.T) {
 	recs := testRecords(3000)
 	cfg := testConfig(5000)

@@ -1,0 +1,302 @@
+package l2stream
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CodecVersion identifies the on-disk and in-memory event encoding.
+// It is folded into every persistent-store key, so bumping it after
+// an encoding change invalidates all previously persisted captures at
+// once — stale files are simply never addressed again.
+const CodecVersion = 2
+
+// Store file format (".l2s"): a fixed 128-byte header, the stream's
+// delta/varint event buffer verbatim, then a fixed-width pre-decoded
+// event sidecar (storeEventSize bytes per event). Loading is one
+// os.ReadFile: the middle of that allocation IS the stream's encoded
+// buffer (zero-copy), and the sidecar decodes with a fixed-stride
+// loop — several times cheaper than the varint pass — into the
+// stream's memoized full event view, so warm replays never touch the
+// varint decoder at all. Spilled streams write a header-only .l2s
+// carrying the run scalars, with the raw CHTR record file adopted into
+// the store next to it as ".chtr".
+const (
+	storeMagic      = "CHL2"
+	storeHeaderSize = 128
+	storeFlagSpill  = 1
+
+	// Sidecar record: kind+flag byte, PC, then the kind's auxiliary
+	// word (data-access VPN or branch target; unused otherwise).
+	storeEventSize = 17
+	storeFlagTaken = 1 << 4
+	storeFlagCond  = 1 << 5
+	storeFlagInd   = 1 << 6
+)
+
+// store is the cache's persistent tier: a content-addressed directory
+// of captured streams, keyed by the capture key fingerprint (workload
+// name + policy-invariant config + codec version). Writers stage into
+// a temp file and atomically rename, so concurrent processes sharing
+// one directory either see a complete capture or none — the worst
+// race outcome is two processes capturing the same stream once each.
+type store struct {
+	dir string
+}
+
+// newStore opens (creating if needed) a persistent capture directory.
+func newStore(dir string) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("l2stream: capture dir: %w", err)
+	}
+	return &store{dir: dir}, nil
+}
+
+// fingerprint derives the content address of a capture key: every
+// field of the key plus the codec version, hashed. Two runs agree on
+// the file name exactly when they would produce byte-identical
+// captures.
+func fingerprint(key Key) [sha256.Size]byte {
+	c := key.Config
+	return sha256.Sum256([]byte(fmt.Sprintf(
+		"chirp-l2stream-v%d|%q|l1i:%q,%d,%d,%d|l1d:%q,%d,%d,%d|shift:%d|instr:%d|warm:%g",
+		CodecVersion, key.Workload,
+		c.L1I.Name, c.L1I.Entries, c.L1I.Ways, c.L1I.PageShift,
+		c.L1D.Name, c.L1D.Entries, c.L1D.Ways, c.L1D.PageShift,
+		c.PageShift, c.Instructions, c.WarmupFraction,
+	)))
+}
+
+// paths returns the metadata and spill-payload file paths for key.
+func (st *store) paths(key Key) (meta, spill string) {
+	h := fingerprint(key)
+	base := filepath.Join(st.dir, fmt.Sprintf("chirp-%x", h[:12]))
+	return base + ".l2s", base + ".chtr"
+}
+
+// load returns the persisted stream for key, or (nil, nil) when the
+// store holds nothing usable for it — a missing, truncated, or
+// mismatched file all read as "absent", so the caller recaptures and
+// save atomically replaces whatever was there.
+func (st *store) load(key Key) (*Stream, error) {
+	meta, spill := st.paths(key)
+	data, err := os.ReadFile(meta)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("l2stream: reading persisted capture: %w", err)
+	}
+	if len(data) < storeHeaderSize || string(data[:4]) != storeMagic {
+		return nil, nil
+	}
+	if binary.LittleEndian.Uint32(data[4:8]) != CodecVersion {
+		return nil, nil
+	}
+	want := fingerprint(key)
+	if string(data[8:8+sha256.Size]) != string(want[:]) {
+		return nil, nil
+	}
+	flags := data[40]
+	u := func(i int) uint64 { return binary.LittleEndian.Uint64(data[48+8*i:]) }
+	s := &Stream{
+		cfg:          key.Config,
+		records:      u(0),
+		instructions: u(1),
+		events:       u(2),
+		accesses:     u(3),
+		warmupAt:     u(4),
+		warmInstrAt:  u(5),
+		l1iMisses:    u(6),
+		l1dMisses:    u(7),
+		warmed:       u(8) != 0,
+		persistent:   true,
+	}
+	buflen := u(9)
+	if flags&storeFlagSpill != 0 {
+		if buflen != 0 {
+			return nil, nil
+		}
+		if _, err := os.Stat(spill); err != nil {
+			return nil, nil // metadata without its payload: recapture
+		}
+		s.spillPath = spill
+		return s, nil
+	}
+	if uint64(len(data)-storeHeaderSize) != buflen+s.events*storeEventSize {
+		return nil, nil
+	}
+	// Zero-copy: the middle of the ReadFile allocation is the encoded
+	// event buffer and the tail is the fixed-width sidecar; no decode,
+	// no second copy. The sidecar is validated here once so FixedDecoder
+	// needs no error path.
+	s.buf = data[storeHeaderSize : storeHeaderSize+buflen]
+	side := data[storeHeaderSize+buflen:]
+	if !sidecarValid(side) {
+		return nil, nil
+	}
+	s.sidecar = side
+	return s, nil
+}
+
+// sidecarValid scans the sidecar's kind bytes. A malformed record
+// reads as "absent" like any other corruption, so the cache
+// recaptures.
+func sidecarValid(data []byte) bool {
+	for i := 0; i < len(data); i += storeEventSize {
+		if data[i]&0x0f > byte(EventWarmup) {
+			return false
+		}
+	}
+	return true
+}
+
+// FixedDecoder iterates the fixed-width sidecar records of a
+// persistently loaded stream. It mirrors Decoder's NextBlock shape so
+// replay kernels can stream either encoding in blocks, but each record
+// decodes with three fixed-offset loads instead of a varint chain.
+type FixedDecoder struct {
+	data      []byte
+	pageShift uint
+	pos       int
+}
+
+// NextBlock decodes up to len(evs) events and returns how many it
+// produced; 0 means the sidecar is exhausted.
+func (d *FixedDecoder) NextBlock(evs []Event) int {
+	n := 0
+	for n < len(evs) && d.pos+storeEventSize <= len(d.data) {
+		rec := d.data[d.pos : d.pos+storeEventSize : d.pos+storeEventSize]
+		d.pos += storeEventSize
+		ev := &evs[n]
+		n++
+		*ev = Event{Kind: EventKind(rec[0] & 0x0f)}
+		pc := binary.LittleEndian.Uint64(rec[1:9])
+		aux := binary.LittleEndian.Uint64(rec[9:17])
+		switch ev.Kind {
+		case EventInstrAccess:
+			ev.PC, ev.VPN = pc, pc>>d.pageShift
+		case EventDataAccess:
+			ev.PC, ev.VPN = pc, aux
+		case EventBranch:
+			ev.PC, ev.Target = pc, aux
+			ev.Taken = rec[0]&storeFlagTaken != 0
+			ev.Conditional = rec[0]&storeFlagCond != 0
+			ev.Indirect = rec[0]&storeFlagInd != 0
+		}
+	}
+	return n
+}
+
+// encodeSidecar serializes the full event view in fixed-width form.
+func encodeSidecar(evs []Event) []byte {
+	out := make([]byte, len(evs)*storeEventSize)
+	for i := range evs {
+		ev := &evs[i]
+		rec := out[i*storeEventSize:]
+		b := byte(ev.Kind)
+		aux := uint64(0)
+		switch ev.Kind {
+		case EventDataAccess:
+			aux = ev.VPN
+		case EventBranch:
+			aux = ev.Target
+			if ev.Taken {
+				b |= storeFlagTaken
+			}
+			if ev.Conditional {
+				b |= storeFlagCond
+			}
+			if ev.Indirect {
+				b |= storeFlagInd
+			}
+		}
+		rec[0] = b
+		binary.LittleEndian.PutUint64(rec[1:9], ev.PC)
+		binary.LittleEndian.PutUint64(rec[9:17], aux)
+	}
+	return out
+}
+
+// save persists a freshly captured stream under key. In-memory
+// streams write header+buffer to a temp file and rename into place;
+// spilled streams adopt their CHTR record file into the store (an
+// atomic rename when the capture spilled into the store directory,
+// which the cache arranges) and then write the header-only metadata.
+// After a successful save of a spilled stream, the stream's spill
+// path points into the store and the stream is marked persistent, so
+// Close never deletes what the store now owns.
+func (st *store) save(key Key, s *Stream) error {
+	meta, spill := st.paths(key)
+	if s.Spilled() {
+		// Payload first: metadata must never address a missing file.
+		if err := os.Rename(s.spillPath, spill); err != nil {
+			return fmt.Errorf("l2stream: adopting spill file: %w", err)
+		}
+		s.spillMu.Lock()
+		s.spillPath = spill
+		s.persistent = true
+		s.spillMu.Unlock()
+	}
+	h := fingerprint(key)
+	hdr := make([]byte, storeHeaderSize)
+	copy(hdr, storeMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], CodecVersion)
+	copy(hdr[8:], h[:])
+	var buflen uint64
+	var sidecar []byte
+	if s.Spilled() {
+		hdr[40] = storeFlagSpill
+	} else {
+		buflen = uint64(len(s.buf))
+		evs, err := s.DecodeAll()
+		if err != nil {
+			return fmt.Errorf("l2stream: persisting capture: %w", err)
+		}
+		sidecar = encodeSidecar(evs)
+	}
+	for i, v := range [10]uint64{
+		s.records, s.instructions, s.events, s.accesses,
+		s.warmupAt, s.warmInstrAt, s.l1iMisses, s.l1dMisses,
+		b2u(s.warmed), buflen,
+	} {
+		binary.LittleEndian.PutUint64(hdr[48+8*i:], v)
+	}
+
+	f, err := os.CreateTemp(st.dir, "chirp-*.l2s.tmp")
+	if err != nil {
+		return fmt.Errorf("l2stream: staging persisted capture: %w", err)
+	}
+	tmp := f.Name()
+	_, err = f.Write(hdr)
+	if err == nil && !s.Spilled() {
+		_, err = f.Write(s.buf)
+		if err == nil {
+			_, err = f.Write(sidecar)
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, meta)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("l2stream: persisting capture: %w", err)
+	}
+	if !s.Spilled() {
+		s.persistent = true
+	}
+	return nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -347,6 +347,12 @@ type Stream struct {
 	decodeOnce sync.Once
 	decoded    []Event // memoized DecodeAll result
 	decodeErr  error
+	// sidecar holds the fixed-width pre-decoded event records a
+	// persistent-store load carries (zero-copy into the store file's
+	// ReadFile allocation; see store.go). When present, replay kernels
+	// and DecodeAll read events from it with a fixed-stride loop
+	// instead of the varint decoder. Written only at construction.
+	sidecar []byte
 
 	// Second memoized view: access + warmup events only, for the
 	// policies that do not observe branches. Like decoded it is
@@ -357,6 +363,18 @@ type Stream struct {
 	accErr  error
 
 	spillPath string
+
+	// Spill-file lifetime. Replays of a spilled stream hold the file
+	// open for their whole pass, while Cache.Close (or an explicit
+	// Stream.Close) may run concurrently — the eviction contract
+	// promises in-flight replays keep working. RetainSpill/release
+	// refcount the file so deletion is deferred until the last reader
+	// is done; persistent streams' files belong to the capture store
+	// and are never deleted by Close at all.
+	spillMu    sync.Mutex
+	spillRefs  int
+	spillClose bool // Close ran; delete the file when refs reach zero
+	persistent bool // file owned by the on-disk capture store
 
 	records      uint64
 	instructions uint64
@@ -425,10 +443,24 @@ func (s *Stream) Decode() *Decoder {
 // FootprintBytes to account the DecodeAll memo against cache budgets.
 const eventBytes = 32
 
+// DecodeFixed returns a decoder over the fixed-width pre-decoded
+// sidecar a persistent-store load carries, or ok=false when the
+// stream has none (fresh captures, spilled streams). The sidecar's
+// fixed-stride records decode several times cheaper than the varint
+// buffer and without materializing a view, so replay kernels prefer
+// it when present. The sidecar is validated at load time; the decoder
+// has no error path.
+func (s *Stream) DecodeFixed() (*FixedDecoder, bool) {
+	if s.sidecar == nil {
+		return nil, false
+	}
+	return &FixedDecoder{data: s.sidecar, pageShift: s.cfg.PageShift}, true
+}
+
 // DecodeAll returns the stream's full event sequence as one shared
 // slice, decoding and memoizing it on first use — so an N-policy
-// replay fan-out pays the varint decode once, not N times. The slice
-// is shared between every caller and MUST be treated as read-only.
+// replay fan-out pays the decode once, not N times. The slice is
+// shared between every caller and MUST be treated as read-only.
 // Like Decode, it panics on spilled streams.
 func (s *Stream) DecodeAll() ([]Event, error) {
 	if s.Spilled() {
@@ -436,6 +468,15 @@ func (s *Stream) DecodeAll() ([]Event, error) {
 	}
 	s.decodeOnce.Do(func() {
 		evs := make([]Event, s.events)
+		if s.sidecar != nil {
+			d := FixedDecoder{data: s.sidecar, pageShift: s.cfg.PageShift}
+			if n := d.NextBlock(evs); uint64(n) != s.events {
+				s.decodeErr = fmt.Errorf("l2stream: corrupt sidecar: decoded %d of %d events", n, s.events)
+				return
+			}
+			s.decoded = evs
+			return
+		}
 		d := s.Decode()
 		n := d.NextBlock(evs)
 		if err := d.Err(); err != nil {
@@ -529,16 +570,66 @@ func (s *Stream) DecodeAccesses() ([]Event, error) {
 // undercounts. The cache accounts this, not just MemBytes, against
 // its budget.
 func (s *Stream) FootprintBytes() int64 {
-	return int64(len(s.buf)) + int64(s.events)*eventBytes + int64(s.accesses+1)*eventBytes
+	return int64(len(s.buf)) + int64(len(s.sidecar)) + int64(s.events)*eventBytes + int64(s.accesses+1)*eventBytes
+}
+
+// Persistent reports whether the stream's backing file (spill case)
+// belongs to a persistent capture store, in which case Close never
+// deletes it.
+func (s *Stream) Persistent() bool { return s.persistent }
+
+// RetainSpill pins the spill file of a spilled stream and returns its
+// path with a release function. While retained, a concurrent Close
+// (from Cache.Close or cache eviction) defers the file deletion until
+// release runs, so a long replay cannot lose the file mid-pass. It
+// fails once Close has already run, which is the one clean error a
+// replay racing a cache shutdown should see.
+func (s *Stream) RetainSpill() (string, func(), error) {
+	if s.spillPath == "" {
+		return "", nil, fmt.Errorf("l2stream: RetainSpill on an in-memory stream")
+	}
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	if s.spillClose {
+		return "", nil, fmt.Errorf("l2stream: spilled stream already closed")
+	}
+	s.spillRefs++
+	return s.spillPath, s.releaseSpill, nil
+}
+
+// releaseSpill drops one spill reference, deleting the file if Close
+// already ran and this was the last reader.
+func (s *Stream) releaseSpill() {
+	s.spillMu.Lock()
+	s.spillRefs--
+	remove := s.spillRefs == 0 && s.spillClose && !s.persistent
+	path := s.spillPath
+	s.spillMu.Unlock()
+	if remove {
+		os.Remove(path)
+	}
 }
 
 // Close releases the stream's spill file, if any. In-memory streams
-// need no cleanup and Close is a no-op for them.
+// need no cleanup and Close is a no-op for them, as it is for
+// persistent streams whose files the capture store owns. If replays
+// still hold the file via RetainSpill, deletion is deferred until the
+// last one releases it.
 func (s *Stream) Close() error {
 	if s.spillPath == "" {
 		return nil
 	}
+	s.spillMu.Lock()
+	if s.spillClose {
+		s.spillMu.Unlock()
+		return nil
+	}
+	s.spillClose = true
+	remove := s.spillRefs == 0 && !s.persistent
 	path := s.spillPath
-	s.spillPath = ""
-	return os.Remove(path)
+	s.spillMu.Unlock()
+	if remove {
+		return os.Remove(path)
+	}
+	return nil
 }

@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/chirplab/chirp/internal/l2stream"
+	"github.com/chirplab/chirp/internal/tlb"
+	"github.com/chirplab/chirp/internal/trace"
+)
+
+// ReplayMulti drives all N policies over a captured stream in a single
+// pass: the stream is decoded once, in blocks, and every policy's L2
+// TLB consumes each block before the next is decoded — instead of N
+// independent traversals each materializing and walking the memoized
+// views. Results are bit-identical to calling ReplayTLBOnly once per
+// policy, in the same order as policies.
+//
+// The equivalence argument: the captured event sequence is fixed, and
+// policy state lives entirely inside each policy's own TLB, so the
+// callback sequence a given policy observes — Lookup, Insert, prefetch
+// fills, branch and warmup callbacks, in event order — is exactly the
+// solo replay's. Interleaving other policies' callbacks between them
+// (here at block granularity) touches disjoint state. Branch events
+// are walked only by policies that observe branches; the rest walk the
+// access/warmup subsequence, which is what the solo replay's
+// branch-free view contains. The stride prefetcher trains on the
+// demand access stream, which is policy-invariant, so one shared
+// prefetcher (trained once per block, before any policy walks it)
+// reproduces every solo prefetcher's decisions; only the
+// Contains-gated fills differ per policy, and those are driven per
+// TLB.
+func ReplayMulti(stream *l2stream.Stream, policies []tlb.Policy, cfg TLBOnlyConfig) ([]TLBOnlyResult, error) {
+	if len(policies) == 0 {
+		return nil, errors.New("sim: ReplayMulti needs at least one policy")
+	}
+	if got, want := stream.Config(), CaptureConfig(cfg); got != want {
+		return nil, fmt.Errorf("sim: stream captured under %+v cannot replay %+v", got, want)
+	}
+	if stream.Spilled() {
+		return replayMultiSpilled(stream, policies, cfg)
+	}
+	if !stream.Warmed() {
+		return nil, fmt.Errorf("sim: trace ended before warmup boundary (%d < %d instructions)", stream.Instructions(), stream.WarmupAt())
+	}
+
+	ms := &multiReplayState{
+		tlbs:   make([]*tlb.TLB, len(policies)),
+		obs:    make([]tlb.BranchObserver, len(policies)),
+		warm:   make([]tlb.Stats, len(policies)),
+		accEvs: make([]l2stream.Event, replayBlock),
+	}
+	for i, p := range policies {
+		t, err := tlb.New(cfg.Hierarchy.L2, p)
+		if err != nil {
+			return nil, err
+		}
+		ms.tlbs[i] = t
+		if bo, ok := p.(tlb.BranchObserver); ok {
+			ms.obs[i] = bo
+		}
+	}
+	if cfg.PrefetchDistance > 0 {
+		ms.pf = newStridePrefetcher(cfg.PrefetchDistance)
+		ms.pfIdx = make([]int32, replayBlock*cfg.PrefetchDistance)
+		ms.pfVPN = make([]uint64, replayBlock*cfg.PrefetchDistance)
+	}
+
+	// Stream the decode in blocks — a fused pass is single-shot, so
+	// materializing the memoized views would be pure overhead. A
+	// persistent-store load carries a fixed-width sidecar (see
+	// store.go) that decodes several times cheaper than the varint
+	// buffer; prefer it when present.
+	var evs [replayBlock]l2stream.Event
+	if fd, ok := stream.DecodeFixed(); ok {
+		for {
+			n := fd.NextBlock(evs[:])
+			if n == 0 {
+				break
+			}
+			ms.replayEvents(evs[:n])
+		}
+	} else {
+		d := stream.Decode()
+		for {
+			n := d.NextBlock(evs[:])
+			if n == 0 {
+				break
+			}
+			ms.replayEvents(evs[:n])
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]TLBOnlyResult, len(policies))
+	for i, p := range policies {
+		l2 := ms.tlbs[i]
+		l2.FlushAccounting()
+		publishRun(p, l2)
+		out[i] = replayResult(stream, p, l2, ms.warm[i])
+	}
+	return out, nil
+}
+
+// replayMultiSpilled replays a spilled stream: the event view never
+// materialized, so each policy re-runs the direct driver over the
+// record file — held retained for the whole fan-out so a racing
+// Cache.Close cannot delete it mid-read.
+func replayMultiSpilled(stream *l2stream.Stream, policies []tlb.Policy, cfg TLBOnlyConfig) ([]TLBOnlyResult, error) {
+	path, release, err := stream.RetainSpill()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	out := make([]TLBOnlyResult, len(policies))
+	for i, p := range policies {
+		fs, err := trace.OpenFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("sim: opening spilled stream: %w", err)
+		}
+		out[i], err = RunTLBOnly(fs, p, cfg)
+		fs.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// replayBlock is the fused kernel's block size: small enough that a
+// decoded block (~10 KB) stays L1-resident across every policy's walk,
+// large enough to amortize the per-block classification pass.
+const replayBlock = 256
+
+// multiReplayState is the fused kernel's struct-of-arrays policy
+// state: slot j of every slice belongs to policy j. The scratch slices
+// are sized once at construction and reused every block — replayEvents
+// is a hot path and must not allocate. The hoisted Access structs
+// escape into the policy interface calls — loop-local ones would
+// heap-allocate once per (event, policy).
+type multiReplayState struct {
+	tlbs []*tlb.TLB
+	obs  []tlb.BranchObserver // slot j non-nil iff policy j observes branches
+	warm []tlb.Stats          // per-policy stats latched at the warmup marker
+	pf   *stridePrefetcher    // shared: its training input is policy-invariant
+
+	accEvs []l2stream.Event // block scratch: dense access/warmup sub-block
+	pfIdx  []int32          // block scratch: dense sub-block index of each prefetch fill
+	pfVPN  []uint64
+
+	a2, pa tlb.Access
+}
+
+// replayEvents drives one decoded event block through every policy
+// TLB, block-policy-major: pass 0 does the policy-invariant work once
+// (classify events, train the shared prefetcher, record its fills
+// keyed by event index), then each policy walks the block with its TLB
+// hot in cache. Non-observers walk only the access/warmup index list —
+// the block-local analogue of the solo replay's branch-free view, so
+// they never touch the branch events that outnumber accesses
+// several-fold. Per policy the callback order matches the solo replay
+// exactly: demand Lookup/Insert, then that event's prefetch fills in
+// prefetcher order, branches in stream order for observers.
+//
+//chirp:hotpath
+func (r *multiReplayState) replayEvents(evs []l2stream.Event) {
+	// Pass 0: compact the access/warmup subsequence into the dense
+	// sub-block non-observers walk (contiguous, L1-resident — the
+	// block-local equivalent of the solo branch-free view, without its
+	// allocation) and train the shared prefetcher, recording fills
+	// against their access's dense index.
+	nAcc, nPF := 0, 0
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case l2stream.EventInstrAccess, l2stream.EventDataAccess:
+			r.accEvs[nAcc] = *ev
+			if r.pf != nil {
+				for _, pv := range r.pf.observe(ev.PC, ev.VPN) {
+					r.pfIdx[nPF] = int32(nAcc)
+					r.pfVPN[nPF] = pv
+					nPF++
+				}
+			}
+			nAcc++
+		case l2stream.EventWarmup:
+			r.accEvs[nAcc] = *ev
+			nAcc++
+		}
+	}
+	acc := r.accEvs[:nAcc]
+	for j := range r.tlbs {
+		if bo := r.obs[j]; bo != nil {
+			r.walkEvents(r.tlbs[j], j, bo, evs, r.pfIdx[:nPF])
+		} else {
+			r.walkAccesses(r.tlbs[j], j, acc, r.pfIdx[:nPF])
+		}
+	}
+}
+
+// walkAccesses replays one dense access/warmup sub-block into a
+// non-observer policy's TLB. Fill indices key the sub-block.
+//
+//chirp:hotpath
+func (r *multiReplayState) walkAccesses(t *tlb.TLB, j int, acc []l2stream.Event, pfIdx []int32) {
+	pfk := 0
+	for i := range acc {
+		ev := &acc[i]
+		if ev.Kind == l2stream.EventWarmup {
+			r.warm[j] = t.Stats()
+			continue
+		}
+		instr := ev.Kind == l2stream.EventInstrAccess
+		r.a2 = tlb.Access{PC: ev.PC, VPN: ev.VPN, Instr: instr}
+		if _, hit := t.Lookup(&r.a2); !hit {
+			t.Insert(&r.a2, ev.VPN)
+		}
+		for pfk < len(pfIdx) && pfIdx[pfk] == int32(i) {
+			pv := r.pfVPN[pfk]
+			pfk++
+			if t.Contains(pv) {
+				continue
+			}
+			r.pa = tlb.Access{PC: ev.PC, VPN: pv, Instr: instr}
+			t.InsertPrefetch(&r.pa, pv)
+		}
+	}
+}
+
+// walkEvents replays one full block into a branch-observing policy's
+// TLB, walking every event; ord tracks the dense sub-block position so
+// prefetch fills land on the same accesses walkAccesses lands them on.
+//
+//chirp:hotpath
+func (r *multiReplayState) walkEvents(t *tlb.TLB, j int, bo tlb.BranchObserver, evs []l2stream.Event, pfIdx []int32) {
+	pfk, ord := 0, int32(0)
+	for i := range evs {
+		ev := &evs[i]
+		switch ev.Kind {
+		case l2stream.EventInstrAccess, l2stream.EventDataAccess:
+			instr := ev.Kind == l2stream.EventInstrAccess
+			r.a2 = tlb.Access{PC: ev.PC, VPN: ev.VPN, Instr: instr}
+			if _, hit := t.Lookup(&r.a2); !hit {
+				t.Insert(&r.a2, ev.VPN)
+			}
+			for pfk < len(pfIdx) && pfIdx[pfk] == ord {
+				pv := r.pfVPN[pfk]
+				pfk++
+				if t.Contains(pv) {
+					continue
+				}
+				r.pa = tlb.Access{PC: ev.PC, VPN: pv, Instr: instr}
+				t.InsertPrefetch(&r.pa, pv)
+			}
+			ord++
+		case l2stream.EventBranch:
+			bo.OnBranch(ev.PC, ev.Conditional, ev.Indirect, ev.Taken, ev.Target)
+		case l2stream.EventWarmup:
+			r.warm[j] = t.Stats()
+			ord++
+		}
+	}
+}
+
+// RunMulti measures one workload under every policy in factories,
+// sharing a single trace traversal when spec.Cache enables the
+// capture/replay path (capture once, then one fused ReplayMulti pass).
+// Without a cache it falls back to one direct run per policy — the
+// bit-identical but unfused shape. spec.Policy is ignored; factories
+// drives the fan-out. Results are ordered like factories.
+func RunMulti(ctx context.Context, spec RunSpec, factories []PolicyFactory) ([]TLBOnlyResult, error) {
+	if len(factories) == 0 {
+		return nil, errors.New("sim: RunMulti needs at least one policy")
+	}
+	if err := spec.validateTrace(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if spec.Cache != nil {
+		stream, err := StreamFor(spec.Cache, spec.name(), spec.Config, spec.open)
+		if err != nil {
+			return nil, fmt.Errorf("sim: capturing %s: %w", spec.name(), err)
+		}
+		ps := make([]tlb.Policy, len(factories))
+		for i, f := range factories {
+			ps[i] = f()
+		}
+		return ReplayMulti(stream, ps, spec.Config)
+	}
+	out := make([]TLBOnlyResult, len(factories))
+	for i, f := range factories {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		src, err := spec.open()
+		if err != nil {
+			return nil, err
+		}
+		out[i], err = RunTLBOnly(src, f(), spec.Config)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"github.com/chirplab/chirp/internal/l2stream"
+	"github.com/chirplab/chirp/internal/tlb"
+	"github.com/chirplab/chirp/internal/trace"
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+// TestReplayMultiEquivalence is the fused kernel's correctness gate:
+// one ReplayMulti pass over every registered policy at once must
+// reproduce each policy's solo ReplayTLBOnly result bit for bit —
+// across workload categories, with and without prefetching. The
+// policy list deliberately interleaves branch observers (ghrp, chirp)
+// with non-observers, so both view groups and the result re-ordering
+// are exercised.
+func TestReplayMultiEquivalence(t *testing.T) {
+	const instructions = 400000
+	names := PolicyNames()
+	for _, pd := range []int{0, 4} {
+		cfg := DefaultTLBOnlyConfig(instructions)
+		cfg.PrefetchDistance = pd
+		for _, wname := range equivalenceWorkloads {
+			stream := captureFor(t, wname, cfg)
+			pols := make([]tlb.Policy, len(names))
+			for i, pname := range names {
+				pol, err := NewPolicy(pname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pols[i] = pol
+			}
+			fused, err := ReplayMulti(stream, pols, cfg)
+			if err != nil {
+				t.Fatalf("%s pd=%d fused: %v", wname, pd, err)
+			}
+			if len(fused) != len(names) {
+				t.Fatalf("%s pd=%d: fused returned %d results for %d policies", wname, pd, len(fused), len(names))
+			}
+			for i, pname := range names {
+				solo, err := NewPolicy(pname)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := ReplayTLBOnly(stream, solo, cfg)
+				if err != nil {
+					t.Fatalf("%s/%s solo replay: %v", wname, pname, err)
+				}
+				// TLBOnlyResult is all scalars, so == is field-by-field.
+				if fused[i] != want {
+					t.Errorf("%s/%s pd=%d: fused replay diverged\n solo:  %+v\n fused: %+v",
+						wname, pname, pd, want, fused[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReplayMultiSpilledEquivalence: the spilled fallback (per-policy
+// direct runs over the retained record file) must also match solo
+// replays, and the spill file must survive a concurrent-style Close.
+func TestReplayMultiSpilledEquivalence(t *testing.T) {
+	cfg := DefaultTLBOnlyConfig(200000)
+	cfg.PrefetchDistance = 2
+	w := workloads.ByName("db-003")
+	src := trace.NewLimit(w.Source(), cfg.Instructions)
+	stream, err := l2stream.Capture(src, CaptureConfig(cfg),
+		l2stream.CaptureOptions{MaxBytes: 1024, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	defer stream.Close()
+	if !stream.Spilled() {
+		t.Fatal("1 KiB budget must force a spill")
+	}
+	names := []string{"lru", "chirp", "ghrp"}
+	pols := make([]tlb.Policy, len(names))
+	for i, n := range names {
+		pols[i], _ = NewPolicy(n)
+	}
+	fused, err := ReplayMulti(stream, pols, cfg)
+	if err != nil {
+		t.Fatalf("fused spilled replay: %v", err)
+	}
+	for i, n := range names {
+		solo, _ := NewPolicy(n)
+		want, err := ReplayTLBOnly(stream, solo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fused[i] != want {
+			t.Errorf("%s: fused spilled replay diverged\n solo:  %+v\n fused: %+v", n, want, fused[i])
+		}
+	}
+}
+
+// TestRunMultiMatchesRun: the fused entry point must agree with N
+// independent Run calls on both paths — capture/replay (shared cache)
+// and direct (no cache).
+func TestRunMultiMatchesRun(t *testing.T) {
+	w := workloads.ByName("web-001")
+	cfg := DefaultTLBOnlyConfig(150000)
+	names := []string{"lru", "ghrp", "srrip", "chirp"}
+	factories := make([]PolicyFactory, len(names))
+	for i, n := range names {
+		nf, err := Factories([]string{n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		factories[i] = nf[0].New
+	}
+	ctx := context.Background()
+
+	for _, withCache := range []bool{true, false} {
+		var cache *l2stream.Cache
+		if withCache {
+			cache = l2stream.NewCache(0, t.TempDir())
+			defer cache.Close()
+		}
+		fused, err := RunMulti(ctx, RunSpec{Workload: w, Config: cfg, Cache: cache}, factories)
+		if err != nil {
+			t.Fatalf("RunMulti(cache=%v): %v", withCache, err)
+		}
+		for i, f := range factories {
+			// A fresh per-policy cache keeps solo captures independent of
+			// the fused run while staying on the same path.
+			var soloCache *l2stream.Cache
+			if withCache {
+				soloCache = l2stream.NewCache(0, t.TempDir())
+				defer soloCache.Close()
+			}
+			want, err := Run(ctx, RunSpec{Workload: w, Policy: f, Config: cfg, Cache: soloCache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fused[i] != want {
+				t.Errorf("cache=%v %s: RunMulti diverged from Run\n solo:  %+v\n fused: %+v",
+					withCache, names[i], want, fused[i])
+			}
+		}
+	}
+}
+
+// TestRunMultiValidates: argument errors surface before any work.
+func TestRunMultiValidates(t *testing.T) {
+	ctx := context.Background()
+	if _, err := RunMulti(ctx, RunSpec{Workload: workloads.ByName("spec-000"), Config: DefaultTLBOnlyConfig(1000)}, nil); err == nil {
+		t.Error("RunMulti accepted an empty policy list")
+	}
+	lru, err := Factories([]string{"lru"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunMulti(ctx, RunSpec{Config: DefaultTLBOnlyConfig(1000)}, []PolicyFactory{lru[0].New}); err == nil {
+		t.Error("RunMulti accepted a spec with no trace source")
+	}
+}

@@ -54,7 +54,14 @@ func ReplayTLBOnly(stream *l2stream.Stream, l2p tlb.Policy, cfg TLBOnlyConfig) (
 		return TLBOnlyResult{}, fmt.Errorf("sim: stream captured under %+v cannot replay %+v", got, want)
 	}
 	if stream.Spilled() {
-		fs, err := trace.OpenFile(stream.SpillPath())
+		// Hold a reference for the whole pass: a Cache.Close racing
+		// this replay defers the file's deletion until release runs.
+		path, release, err := stream.RetainSpill()
+		if err != nil {
+			return TLBOnlyResult{}, err
+		}
+		defer release()
+		fs, err := trace.OpenFile(path)
 		if err != nil {
 			return TLBOnlyResult{}, fmt.Errorf("sim: opening spilled stream: %w", err)
 		}
@@ -97,6 +104,13 @@ func ReplayTLBOnly(stream *l2stream.Stream, l2p tlb.Policy, cfg TLBOnlyConfig) (
 
 	l2.FlushAccounting()
 	publishRun(l2p, l2)
+	return replayResult(stream, l2p, l2, warmStats), nil
+}
+
+// replayResult assembles a replayed policy's result from its finished
+// L2 TLB and the stats latched at the warmup marker. Shared by the
+// solo and fused replay drivers so they agree field for field.
+func replayResult(stream *l2stream.Stream, l2p tlb.Policy, l2 *tlb.TLB, warmStats tlb.Stats) TLBOnlyResult {
 	st := l2.Stats()
 	res := TLBOnlyResult{
 		Policy:       l2p.Name(),
@@ -116,7 +130,7 @@ func ReplayTLBOnly(stream *l2stream.Stream, l2p tlb.Policy, cfg TLBOnlyConfig) (
 			res.TableAccessRate = float64(res.TableReads+res.TableWrites) / float64(st.Accesses)
 		}
 	}
-	return res, nil
+	return res
 }
 
 // replayState is the replay driver's inner-loop state. The event walk
@@ -177,7 +191,12 @@ func StreamVPNs(stream *l2stream.Stream, cfg TLBOnlyConfig) ([]uint64, error) {
 		return nil, fmt.Errorf("sim: stream captured under %+v cannot serve %+v", got, want)
 	}
 	if stream.Spilled() {
-		fs, err := trace.OpenFile(stream.SpillPath())
+		path, release, err := stream.RetainSpill()
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		fs, err := trace.OpenFile(path)
 		if err != nil {
 			return nil, fmt.Errorf("sim: opening spilled stream: %w", err)
 		}

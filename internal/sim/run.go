@@ -65,9 +65,16 @@ func (s *RunSpec) open() (trace.Source, error) {
 
 // validate rejects specs that cannot run before any work starts.
 func (s *RunSpec) validate() error {
-	switch {
-	case s.Policy == nil:
+	if s.Policy == nil {
 		return errors.New("sim: RunSpec.Policy is required")
+	}
+	return s.validateTrace()
+}
+
+// validateTrace is validate minus the Policy requirement — the shared
+// part for RunMulti, whose policies arrive as a separate slice.
+func (s *RunSpec) validateTrace() error {
+	switch {
 	case s.Workload == nil && s.Open == nil:
 		return errors.New("sim: RunSpec needs Workload or Open")
 	case s.Workload != nil && s.Open != nil:

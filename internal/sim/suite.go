@@ -3,6 +3,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
+	"strings"
 
 	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/l2stream"
@@ -88,12 +90,13 @@ func RunSuiteTLBOnlyCtx(ctx context.Context, ws []*workloads.Workload, pols []Na
 		cache = l2stream.NewCache(opts.StreamBudget, "")
 		defer cache.Close()
 	}
+	if cache != nil {
+		return runSuiteFused(ctx, ws, pols, cfg, cache, opts)
+	}
 	jobs := suiteJobs(ws, pols, opts.Scope, func(ctx context.Context, w *workloads.Workload, p NamedFactory) (SuiteResult, error) {
-		// Every cell goes through the one Run entry point; the spec's
-		// Cache field (shared across this workload's policies — and
-		// across suite calls when opts.StreamCache is) selects
-		// capture/replay vs the direct path.
-		res, err := Run(ctx, RunSpec{Workload: w, Policy: p.New, Config: cfg, Cache: cache})
+		// Direct mode (capture/replay disabled): every cell is its own
+		// full trace run through the one Run entry point.
+		res, err := Run(ctx, RunSpec{Workload: w, Policy: p.New, Config: cfg})
 		if err != nil {
 			return SuiteResult{}, fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
 		}
@@ -101,6 +104,116 @@ func RunSuiteTLBOnlyCtx(ctx context.Context, ws []*workloads.Workload, pols []Na
 		return SuiteResult{Workload: w.Name, Category: w.Category, Profile: w.Program().Profile, TLBOnlyResult: res}, nil
 	})
 	return engine.Run(ctx, jobs, engine.Config{Workers: opts.Workers, Sink: opts.Sink, Checkpoint: opts.Checkpoint})
+}
+
+// runSuiteFused is the capture/replay suite path: one engine job per
+// workload captures (or reuses) the stream and replays every policy in
+// a single fused pass (ReplayMulti), instead of len(pols) jobs that
+// each re-walk the decoded view. Results keep the workload-major,
+// policy-minor order the per-cell path guarantees, and a failed
+// workload still leaves its policy rows in place (zero-valued) so
+// callers indexing cell (i, j) stay correct.
+//
+// Checkpoint keys are per fused job — Policy is the "+"-joined policy
+// list — so a resumed run re-replays a half-finished workload instead
+// of trusting partial rows (replays are cheap; captures are what the
+// persistent cache tier saves).
+func runSuiteFused(ctx context.Context, ws []*workloads.Workload, pols []NamedFactory, cfg TLBOnlyConfig, cache *l2stream.Cache, opts SuiteOptions) ([]SuiteResult, error) {
+	factories := make([]PolicyFactory, len(pols))
+	names := make([]string, len(pols))
+	for i, p := range pols {
+		factories[i], names[i] = p.New, p.Name
+	}
+	joined := strings.Join(names, "+")
+	jobs := make([]engine.Job[[]SuiteResult], 0, len(ws))
+	for _, w := range ws {
+		w := w
+		jobs = append(jobs, engine.Job[[]SuiteResult]{
+			Key: engine.Key{Scope: opts.Scope, Workload: w.Name, Policy: joined},
+			Run: func(ctx context.Context) ([]SuiteResult, error) {
+				return runWorkloadFused(ctx, w, pols, factories, cfg, cache, opts.Scope)
+			},
+		})
+	}
+	grouped, err := engine.Run(ctx, jobs, engine.Config{Workers: opts.Workers, Sink: opts.Sink, Checkpoint: opts.Checkpoint})
+	flat := make([]SuiteResult, 0, len(ws)*len(pols))
+	for _, rows := range grouped {
+		if rows == nil {
+			rows = make([]SuiteResult, len(pols))
+		}
+		flat = append(flat, rows...)
+	}
+	return flat, err
+}
+
+// runWorkloadFused runs one workload's fused job. The fast path is a
+// single ReplayMulti pass. If that pass fails — one broken policy
+// errors or panics mid-event, which necessarily takes the whole fused
+// group down — the job degrades to solo per-policy runs over the
+// (already captured) stream, so every healthy policy still delivers
+// its row and the error blames the precise (workload, policy) cell,
+// exactly as the per-cell scheduling used to. The returned rows
+// accompany the error; the engine keeps both.
+func runWorkloadFused(ctx context.Context, w *workloads.Workload, pols []NamedFactory, factories []PolicyFactory, cfg TLBOnlyConfig, cache *l2stream.Cache, scope string) ([]SuiteResult, error) {
+	row := func(res TLBOnlyResult, name string) SuiteResult {
+		res.Policy = name
+		return SuiteResult{Workload: w.Name, Category: w.Category, Profile: w.Program().Profile, TLBOnlyResult: res}
+	}
+	rs, err := protectMulti(ctx, w, factories, cfg, cache)
+	if err == nil {
+		rows := make([]SuiteResult, len(rs))
+		for i := range rs {
+			rows[i] = row(rs[i], pols[i].Name)
+		}
+		return rows, nil
+	}
+
+	rows := make([]SuiteResult, len(pols))
+	var firstErr error
+	for i, p := range pols {
+		res, rerr := protectCell(ctx, w, p, cfg, cache)
+		if rerr != nil {
+			if firstErr == nil {
+				firstErr = &engine.JobError{
+					Key: engine.Key{Scope: scope, Workload: w.Name, Policy: p.Name},
+					Err: rerr,
+				}
+			}
+			continue
+		}
+		rows[i] = row(res, p.Name)
+	}
+	if firstErr == nil {
+		// The fused pass failed but every solo rerun passed (a capture
+		// error that resolved, or a flaky policy): report the original
+		// failure rather than pretending it did not happen.
+		firstErr = fmt.Errorf("%s: fused replay failed (solo reruns passed): %w", w.Name, err)
+	}
+	return rows, firstErr
+}
+
+// protectMulti runs the fused pass, converting a policy panic into an
+// error so the job can fall back to solo runs instead of relying on
+// the engine's recovery (which would blame the whole fused key).
+func protectMulti(ctx context.Context, w *workloads.Workload, factories []PolicyFactory, cfg TLBOnlyConfig, cache *l2stream.Cache) (rs []TLBOnlyResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &engine.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return RunMulti(ctx, RunSpec{Workload: w, Config: cfg, Cache: cache}, factories)
+}
+
+// protectCell runs one (workload, policy) cell solo with the same
+// panic conversion the engine applies, so the fallback's blame carries
+// the panic value and stack.
+func protectCell(ctx context.Context, w *workloads.Workload, p NamedFactory, cfg TLBOnlyConfig, cache *l2stream.Cache) (res TLBOnlyResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &engine.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return Run(ctx, RunSpec{Workload: w, Policy: p.New, Config: cfg, Cache: cache})
 }
 
 // RunSuiteTLBOnly is RunSuiteTLBOnlyCtx without cancellation,

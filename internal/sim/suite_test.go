@@ -132,8 +132,10 @@ func TestSuiteCheckpointResumeByteIdentical(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("interrupted run error = %v, want context.Canceled", err)
 	}
-	if ck.Len() < 2 || ck.Len() >= len(clean) {
-		t.Fatalf("checkpoint holds %d rows, want a strict mid-run subset of %d", ck.Len(), len(clean))
+	// Job granularity is fused: one job per workload, covering every
+	// policy, so the checkpoint holds at most len(ws) rows.
+	if ck.Len() < 2 || ck.Len() >= len(ws) {
+		t.Fatalf("checkpoint holds %d rows, want a strict mid-run subset of %d", ck.Len(), len(ws))
 	}
 	ck.Close()
 
@@ -152,8 +154,8 @@ func TestSuiteCheckpointResumeByteIdentical(t *testing.T) {
 	if c.Resumed.Load() < 2 {
 		t.Errorf("resume restored %d jobs from checkpoint, want >= 2", c.Resumed.Load())
 	}
-	if int(c.Resumed.Load()+c.Done.Load()) != len(clean) {
-		t.Errorf("resume completed %d jobs, want %d", c.Resumed.Load()+c.Done.Load(), len(clean))
+	if int(c.Resumed.Load()+c.Done.Load()) != len(ws) {
+		t.Errorf("resume completed %d jobs, want %d", c.Resumed.Load()+c.Done.Load(), len(ws))
 	}
 
 	cleanJSON, err := json.Marshal(clean)

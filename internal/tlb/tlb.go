@@ -9,7 +9,10 @@
 // internal/core.
 package tlb
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Access describes one lookup presented to a TLB and to its policy.
 type Access struct {
@@ -108,6 +111,10 @@ func (c *Config) Validate() error {
 	if c.Entries <= 0 || c.Ways <= 0 {
 		return fmt.Errorf("tlb %q: entries (%d) and ways (%d) must be positive", c.Name, c.Entries, c.Ways)
 	}
+	if c.Ways > 64 {
+		// The way scan keeps per-set valid bits in one uint64.
+		return fmt.Errorf("tlb %q: associativity %d exceeds the 64-way limit", c.Name, c.Ways)
+	}
 	if c.Entries%c.Ways != 0 {
 		return fmt.Errorf("tlb %q: entries (%d) not a multiple of ways (%d)", c.Name, c.Entries, c.Ways)
 	}
@@ -174,10 +181,16 @@ type TLB struct {
 	sets    int
 	ways    int
 	setMask uint64
-	entries []entry  // sets × ways, row-major
-	live    []uint16 // per-set valid-entry count; == ways means no invalid way
-	stats   Stats
-	now     uint64 // monotonically increasing access time
+	entries []entry // sets × ways, row-major
+	// tags mirrors entries' VPNs and valid mirrors their valid bits
+	// (bit w of valid[s] covers way w of set s). The way scan reads
+	// only these — one cache line per 8-way probe instead of six lines
+	// of 48-byte entries — and touches an entry only on a tag match.
+	tags  []uint64
+	valid []uint64
+	live  []uint16 // per-set valid-entry count; == ways means no invalid way
+	stats Stats
+	now   uint64 // monotonically increasing access time
 
 	// published is the Stats state as of the last PublishMetrics call
 	// (see obs.go); the difference is what the next publish emits.
@@ -201,6 +214,8 @@ func New(cfg Config, p Policy) (*TLB, error) {
 		ways:    cfg.Ways,
 		setMask: uint64(sets - 1),
 		entries: make([]entry, cfg.Entries),
+		tags:    make([]uint64, cfg.Entries),
+		valid:   make([]uint64, sets),
 		live:    make([]uint16, sets),
 	}
 	p.Attach(sets, cfg.Ways)
@@ -240,11 +255,17 @@ func (t *TLB) Lookup(a *Access) (ppn uint64, hit bool) {
 	base := int(a.Set) * t.ways
 	// The subslice bounds the way scan so the loop body runs without
 	// per-iteration bounds checks — this is the hottest loop in a
-	// TLB-only simulation.
-	set := t.entries[base : base+t.ways]
-	for w := range set {
-		e := &set[w]
-		if e.valid && e.vpn == a.VPN && e.asid == a.ASID {
+	// TLB-only simulation. It reads only the packed tag array and the
+	// set's valid bits; the 48-byte entry is touched on a tag match
+	// alone, so a miss probe stays within one cache line per set.
+	tags := t.tags[base : base+t.ways]
+	live := t.valid[a.Set]
+	for w := range tags {
+		if live&(1<<uint(w)) != 0 && tags[w] == a.VPN {
+			e := &t.entries[base+w]
+			if e.asid != a.ASID {
+				continue
+			}
 			e.lastHit = t.now
 			t.stats.Hits++
 			t.policy.OnHit(a.Set, w, a)
@@ -273,12 +294,7 @@ func (t *TLB) Insert(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
 	// Once a set has filled, it only empties again through a flush, so
 	// the steady-state fill path skips the invalid-way scan entirely.
 	if int(t.live[a.Set]) < t.ways {
-		for w := 0; w < t.ways; w++ {
-			if !t.entries[base+w].valid {
-				way = w
-				break
-			}
-		}
+		way = bits.TrailingZeros64(^t.valid[a.Set])
 	}
 	if way < 0 {
 		way = t.policy.Victim(a.Set, a)
@@ -296,6 +312,8 @@ func (t *TLB) Insert(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
 	e := &t.entries[base+way]
 	e.vpn, e.ppn, e.asid, e.valid = a.VPN, ppn, a.ASID, true
 	e.insert, e.lastHit = t.now, t.now
+	t.tags[base+way] = a.VPN
+	t.valid[a.Set] |= 1 << uint(way)
 	t.policy.OnInsert(a.Set, way, a)
 	return evicted, evictedVPN
 }
@@ -333,6 +351,7 @@ func (t *TLB) Flush() {
 	}
 	for i := range t.live {
 		t.live[i] = 0
+		t.valid[i] = 0
 	}
 }
 
@@ -344,6 +363,7 @@ func (t *TLB) FlushASID(asid uint16) {
 			t.retire(e)
 			e.valid = false
 			t.live[i/t.ways]--
+			t.valid[i/t.ways] &^= 1 << uint(i%t.ways)
 		}
 	}
 }
@@ -363,9 +383,12 @@ func (t *TLB) retire(e *entry) {
 // the efficiency counters without invalidating the entries. Call once
 // at end of simulation, before reading Stats().Efficiency.
 func (t *TLB) FlushAccounting() {
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid {
+	for s, m := range t.valid {
+		base := s * t.ways
+		for m != 0 {
+			w := bits.TrailingZeros64(m)
+			m &= m - 1
+			e := &t.entries[base+w]
 			t.stats.liveTime += e.lastHit - e.insert
 			t.stats.residentTime += t.now - e.insert
 			// Restart the lifetime so a second flush cannot double count.
@@ -380,12 +403,18 @@ func (t *TLB) Stats() Stats { return t.stats }
 // Now returns the TLB-local access clock (number of lookups so far).
 func (t *TLB) Now() uint64 { return t.now }
 
-// Contains reports whether vpn is currently resident (for tests).
+// Contains reports whether vpn is currently resident. It is on the
+// prefetch fill path (fills are gated on non-residence), so it scans
+// the packed tag array like Lookup.
+//
+//chirp:hotpath
 func (t *TLB) Contains(vpn uint64) bool {
-	base := int(t.SetIndex(vpn)) * t.cfg.Ways
-	for w := 0; w < t.cfg.Ways; w++ {
-		e := &t.entries[base+w]
-		if e.valid && e.vpn == vpn {
+	set := t.SetIndex(vpn)
+	base := int(set) * t.ways
+	tags := t.tags[base : base+t.ways]
+	live := t.valid[set]
+	for w := range tags {
+		if live&(1<<uint(w)) != 0 && tags[w] == vpn {
 			return true
 		}
 	}
