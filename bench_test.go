@@ -512,7 +512,10 @@ func BenchmarkSweepPersistent(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := sim.RunSuiteTLBOnlyCtx(context.Background(), ws, pols[:1], cfg,
+	// Warm with the full policy set so the derived sidecars (replay
+	// views, signature sequences) are on disk too: a second
+	// `chirpexp -capturedir` run loads them instead of rebuilding.
+	if _, err := sim.RunSuiteTLBOnlyCtx(context.Background(), ws, pols, cfg,
 		sim.SuiteOptions{Workers: 1, StreamCache: warm}); err != nil {
 		b.Fatal(err)
 	}

@@ -112,6 +112,14 @@ type CHiRP struct {
 	lastSet uint32
 	haveSet bool
 
+	// External-signature mode (tlb.SignatureFed): when extSigs is set,
+	// OnAccess consumes the fed extSig/extPSig pair instead of reading
+	// and advancing the history registers — the driver has precomputed
+	// the identical sequence from the captured stream.
+	extSigs bool
+	extSig  uint16
+	extPSig uint16
+
 	reads, writes uint64
 	accesses      uint64
 
@@ -134,6 +142,7 @@ var (
 	_ tlb.Policy          = (*CHiRP)(nil)
 	_ tlb.BranchObserver  = (*CHiRP)(nil)
 	_ tlb.TableAccounting = (*CHiRP)(nil)
+	_ tlb.SignatureFed    = (*CHiRP)(nil)
 )
 
 // New builds a CHiRP policy from cfg.
@@ -198,22 +207,24 @@ func (p *CHiRP) OnBranch(pc uint64, conditional, indirect, _ bool, _ uint64) {
 	}
 }
 
-// rawSignature combines the enabled features (paper Figure 5, line 5):
-// sign ← PC≫2 ⊕ pathHist ⊕ condBrHist ⊕ unCondBrHist.
+// signatureOf combines the enabled features (paper Figure 5, lines
+// 5–6): sign ← PC≫2 ⊕ pathHist ⊕ condBrHist ⊕ unCondBrHist, hashed to
+// 16 bits. Shared by the policy and SigSequencer so the precomputed
+// sequence is the same computation, not a reimplementation.
 //
 //chirp:hotpath
-func (p *CHiRP) rawSignature(pc uint64) uint64 {
+func signatureOf(cfg *Config, hist *Histories, pc uint64) uint16 {
 	sig := pc >> 2
-	if p.cfg.UsePathHistory {
-		sig ^= p.hist.Path()
+	if cfg.UsePathHistory {
+		sig ^= hist.Path()
 	}
-	if p.cfg.UseCondHistory {
-		sig ^= p.hist.Cond()
+	if cfg.UseCondHistory {
+		sig ^= hist.Cond()
 	}
-	if p.cfg.UseIndirectHistory {
-		sig ^= p.hist.Indirect()
+	if cfg.UseIndirectHistory {
+		sig ^= hist.Indirect()
 	}
-	return sig
+	return uint16(policy.Mix64(sig))
 }
 
 // Signature returns the 16-bit hashed signature for pc under the
@@ -221,7 +232,7 @@ func (p *CHiRP) rawSignature(pc uint64) uint64 {
 //
 //chirp:hotpath
 func (p *CHiRP) Signature(pc uint64) uint16 {
-	return uint16(policy.Mix64(p.rawSignature(pc)))
+	return signatureOf(&p.cfg, p.hist, pc)
 }
 
 // index maps a 16-bit signature onto the prediction table.
@@ -268,16 +279,40 @@ func (p *CHiRP) train(sig uint16, dead bool) {
 //chirp:hotpath
 func (p *CHiRP) OnAccess(a *tlb.Access) {
 	if a.Prefetch {
-		p.curSig = p.Signature(a.PC)
+		if p.extSigs {
+			p.curSig = p.extPSig
+		} else {
+			p.curSig = p.Signature(a.PC)
+		}
 		return
 	}
 	p.accesses++
-	p.curSig = p.Signature(a.PC)
 	p.sameSet = p.haveSet && a.Set == p.lastSet
 	p.lastSet, p.haveSet = a.Set, true
+	if p.extSigs {
+		p.curSig = p.extSig
+		return
+	}
+	p.curSig = p.Signature(a.PC)
 	if p.cfg.UsePathHistory {
 		p.hist.PushAccess(a.PC)
 	}
+}
+
+// BeginExternalSignatures implements tlb.SignatureFed: from now on the
+// driver supplies the signature pair per access and the policy's own
+// histories stay untouched (the driver delivers no branches either).
+func (p *CHiRP) BeginExternalSignatures() { p.extSigs = true }
+
+// SetSignatures implements tlb.SignatureFed: demand is the Figure 5
+// signature under the pre-access histories, prefetch the signature of
+// the same PC after the access's own path push — the value a trailing
+// prefetch fill would compute live.
+//
+//chirp:hotpath
+func (p *CHiRP) SetSignatures(demand, prefetch uint64) {
+	p.extSig = uint16(demand)
+	p.extPSig = uint16(prefetch)
 }
 
 // OnHit implements tlb.Policy (paper Figure 5, lines 13–21 plus the

@@ -1,0 +1,71 @@
+package core
+
+import "fmt"
+
+// SigSequencer replays the signature computation of one CHiRP instance
+// over a captured event stream, without any TLB or prediction state:
+// feed it the committed branches and demand accesses in stream order
+// and it produces, per access, the exact signature pair a live CHiRP
+// would compute — the demand signature under the pre-access histories
+// and the prefetch signature after the access's own path push. The
+// sequencer shares signatureOf and the Histories implementation with
+// the policy, so equality is structural, not coincidental.
+//
+// The produced sequence depends only on the event stream and on the
+// signature-relevant subset of Config (see SignatureKey), which makes
+// it a valid l2stream derived view shared by every CHiRP variant that
+// agrees on those knobs.
+type SigSequencer struct {
+	cfg  Config
+	hist *Histories
+}
+
+// NewSigSequencer builds a sequencer for cfg's signature configuration.
+func NewSigSequencer(cfg Config) *SigSequencer {
+	return &SigSequencer{cfg: cfg, hist: NewHistories(cfg.History)}
+}
+
+// OnBranch mirrors CHiRP.OnBranch for the committed branch stream.
+//
+//chirp:hotpath
+func (q *SigSequencer) OnBranch(pc uint64, conditional, indirect bool) {
+	switch {
+	case conditional:
+		if q.cfg.UseCondHistory {
+			q.hist.PushCond(pc)
+		}
+	case indirect:
+		if q.cfg.UseIndirectHistory {
+			q.hist.PushIndirect(pc)
+		}
+	}
+}
+
+// OnAccess consumes one demand access and returns its signature pair:
+// sig is the Figure 5 signature computed before the path push (what
+// the demand access itself uses), psig the signature of the same PC
+// after the push (what a prefetch fill triggered by this access would
+// compute — branch events never interleave between an access and its
+// prefetch fills, so the post-push histories are exactly the fill-time
+// histories).
+//
+//chirp:hotpath
+func (q *SigSequencer) OnAccess(pc uint64) (sig, psig uint16) {
+	sig = signatureOf(&q.cfg, q.hist, pc)
+	if q.cfg.UsePathHistory {
+		q.hist.PushAccess(pc)
+	}
+	psig = signatureOf(&q.cfg, q.hist, pc)
+	return sig, psig
+}
+
+// SignatureKey returns the invalidation key fragment for cfg's
+// signature sequence: every knob the sequence depends on — history
+// geometry and feature switches — and nothing else, so CHiRP variants
+// that differ only in table size, thresholds, or victim selection
+// share one derived view.
+func (c Config) SignatureKey() string {
+	return fmt.Sprintf("cs1:p%d.%t:b%d:f%t%t%t",
+		c.History.PathLength, c.History.PathLeadingZeros, c.History.BranchLength,
+		c.UsePathHistory, c.UseCondHistory, c.UseIndirectHistory)
+}

@@ -44,6 +44,18 @@ var (
 		"In-memory bytes currently accounted to stream caches.")
 	obsCacheStreams = obs.Default.Gauge("chirp_l2stream_cache_streams",
 		"Captured streams currently resident in stream caches.")
+	obsDerivedBuilds = obs.Default.Counter("chirp_l2stream_derived_builds_total",
+		"Derived views computed from stream events (sidecar absent or not persisted).")
+	obsDerivedDiskHits = obs.Default.Counter("chirp_l2stream_derived_disk_hits_total",
+		"Derived views loaded from persisted sidecars instead of being recomputed.")
+	obsDerivedDiskWrites = obs.Default.Counter("chirp_l2stream_derived_disk_writes_total",
+		"Derived-view sidecars persisted to the capture directory.")
+	obsDerivedCorrupt = obs.Default.Counter("chirp_l2stream_derived_corrupt_total",
+		"Derived-view sidecars rejected as corrupt, truncated, or stale (the view is recomputed).")
+	obsStoreEvictions = obs.Default.Counter("chirp_l2stream_store_evictions_total",
+		"Capture groups (stream plus sidecars) evicted from persistent capture directories by the size-budget GC.")
+	obsStoreBytes = obs.Default.Gauge("chirp_l2stream_store_bytes",
+		"Bytes currently held in persistent capture directories, as of the last GC scan.")
 )
 
 // DefaultBudget is the cache's default in-memory byte budget: large
@@ -232,6 +244,11 @@ func (c *Cache) runCapture(key Key, e *cacheEntry, capture func(CaptureOptions) 
 func (c *Cache) commit(key Key, e *cacheEntry, s *Stream) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Derived views materialize after commit (first replay builds or
+	// loads them); the hook folds their bytes into this entry so the
+	// budget keeps holding. Installed under c.mu, before any other
+	// goroutine can observe the entry as ready.
+	s.SetGrowthHook(func(delta int64) { c.growStream(key, s, delta) })
 	e.stream = s
 	e.ready = true
 	e.bytes = s.FootprintBytes()
@@ -241,20 +258,52 @@ func (c *Cache) commit(key Key, e *cacheEntry, s *Stream) {
 	if s.Spilled() {
 		c.spills = append(c.spills, s)
 	}
-	c.evictLocked(key)
+	c.evictLocked(e)
 	c.tick++
 	e.lastUse = c.tick
 }
 
+// growStream accounts a late footprint increase of a committed stream
+// (a derived view materializing) and rebalances the budget. A stream
+// already evicted from the cache is no longer accounted at all, so its
+// growth is ignored — the bytes die with the replays holding it.
+func (c *Cache) growStream(key Key, s *Stream, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.stream != s {
+		return
+	}
+	e.bytes += delta
+	c.used += delta
+	obsCacheBytes.Add(delta)
+	// Unlike commit, the grown entry itself is evictable: the replays
+	// that triggered the growth hold their own stream reference, and a
+	// view that alone blew the budget must not pin the cache over it.
+	c.evictLocked(nil)
+}
+
+// SetStoreMaxBytes bounds the persistent capture directory's total
+// size: after every store write, least-recently-used capture groups
+// (the .l2s stream plus its .chtr spill and .l2d derived sidecars) are
+// evicted oldest-mtime-first until the directory fits. Zero or
+// negative means unbounded. No-op on caches without a persistent tier.
+func (c *Cache) SetStoreMaxBytes(maxBytes int64) {
+	if c.store != nil {
+		c.store.setLimit(maxBytes)
+	}
+}
+
 // evictLocked drops least-recently-used completed in-memory entries
-// until the budget holds again. keep is never evicted (it is the entry
-// that just finished capturing and is about to be returned).
-func (c *Cache) evictLocked(keep Key) {
+// until the budget holds again. keep, when non-nil, is never evicted
+// (it is the entry that just finished capturing and is about to be
+// returned).
+func (c *Cache) evictLocked(keep *cacheEntry) {
 	for c.used > c.budget {
 		var victimKey Key
 		var victim *cacheEntry
 		for k, e := range c.entries {
-			if k == keep || !e.ready || e.bytes == 0 {
+			if e == keep || !e.ready || e.bytes == 0 {
 				continue
 			}
 			if victim == nil || e.lastUse < victim.lastUse {

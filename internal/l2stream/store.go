@@ -4,8 +4,15 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 )
 
 // CodecVersion identifies the on-disk and in-memory event encoding.
@@ -45,6 +52,10 @@ const (
 // race outcome is two processes capturing the same stream once each.
 type store struct {
 	dir string
+
+	// mu serializes the size-budget GC; limit <= 0 means unbounded.
+	mu    sync.Mutex
+	limit int64
 }
 
 // newStore opens (creating if needed) a persistent capture directory.
@@ -53,6 +64,16 @@ func newStore(dir string) (*store, error) {
 		return nil, fmt.Errorf("l2stream: capture dir: %w", err)
 	}
 	return &store{dir: dir}, nil
+}
+
+// setLimit installs the directory's byte budget and immediately
+// rebalances, so a long-lived directory inherited from earlier runs is
+// trimmed at open rather than on the first write.
+func (st *store) setLimit(maxBytes int64) {
+	st.mu.Lock()
+	st.limit = maxBytes
+	st.mu.Unlock()
+	st.gc()
 }
 
 // fingerprint derives the content address of a capture key: every
@@ -75,6 +96,246 @@ func (st *store) paths(key Key) (meta, spill string) {
 	h := fingerprint(key)
 	base := filepath.Join(st.dir, fmt.Sprintf("chirp-%x", h[:12]))
 	return base + ".l2s", base + ".chtr"
+}
+
+// Derived sidecar format (".l2d"): magic, the derived-format and
+// stream-codec versions, the full derived key string, then a
+// checksummed payload. The payload's meaning belongs to the
+// DerivedSpec that wrote it; the store only guarantees that what load
+// returns is byte-identical to what save was given, under the same
+// key, or nothing at all.
+const (
+	derivedMagic = "CHDV"
+	// DerivedFormatVersion identifies the sidecar container framing.
+	// Specs version their payloads separately, inside their keys.
+	// Version 2 replaced the payload's FNV-64a checksum with CRC-32C:
+	// warm sweeps checksum every sidecar they load, and the
+	// hardware-assisted CRC took that from ~15% of a warm fig7
+	// iteration's profile to noise.
+	DerivedFormatVersion = 2
+)
+
+// derivedCRC is the sidecar payload checksum table (Castagnoli, the
+// polynomial with hardware support on amd64 and arm64).
+var derivedCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// derivedPath returns the sidecar file path for a derived key: the
+// stream's content-addressed base plus a hash of the derived key.
+func (st *store) derivedPath(key Key, dkey string) string {
+	meta, _ := st.paths(key)
+	h := fnv.New64a()
+	h.Write([]byte(dkey))
+	return fmt.Sprintf("%s-d%016x.l2d", strings.TrimSuffix(meta, ".l2s"), h.Sum64())
+}
+
+// attachDerived wires the stream's derived-view persistence hooks to
+// this store under key. Called once, while the stream is still private
+// to the loading/saving goroutine.
+func (st *store) attachDerived(s *Stream, key Key) {
+	s.dvLoad = func(dkey string) ([]byte, func()) { return st.loadDerived(key, dkey) }
+	s.dvSave = func(dkey string, payload []byte) {
+		if err := st.saveDerived(key, dkey, payload); err != nil {
+			obsCacheDiskErrors.Inc()
+		} else {
+			obsDerivedDiskWrites.Inc()
+		}
+	}
+}
+
+// sidecarBufs recycles whole-file read buffers across sidecar loads:
+// warm sweeps load a handful of sidecars per stream, and re-zeroing a
+// fresh allocation for each was measurable next to the decode itself.
+var sidecarBufs sync.Pool
+
+// loadDerived returns the persisted payload for (key, dkey) plus a
+// hook releasing the pooled buffer the payload aliases, or (nil, nil)
+// when the store holds nothing usable — missing reads as absent
+// silently; a present-but-invalid file counts as corruption and also
+// reads as absent, so the caller recomputes and atomically replaces
+// it.
+func (st *store) loadDerived(key Key, dkey string) ([]byte, func()) {
+	f, err := os.Open(st.derivedPath(key, dkey))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			obsCacheDiskErrors.Inc()
+		}
+		return nil, nil
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		obsCacheDiskErrors.Inc()
+		return nil, nil
+	}
+	size := int(fi.Size())
+	var data []byte
+	if bp, _ := sidecarBufs.Get().(*[]byte); bp != nil && cap(*bp) >= size {
+		data = (*bp)[:size]
+	} else {
+		data = make([]byte, size)
+	}
+	release := func() { sidecarBufs.Put(&data) }
+	if _, err := io.ReadFull(f, data); err != nil {
+		obsCacheDiskErrors.Inc()
+		release()
+		return nil, nil
+	}
+	payload, ok := decodeDerivedFile(data, dkey)
+	if !ok {
+		obsDerivedCorrupt.Inc()
+		release()
+		return nil, nil
+	}
+	return payload, release
+}
+
+// decodeDerivedFile validates a sidecar's framing against the derived
+// key and returns its payload. Split from loadDerived for tests.
+func decodeDerivedFile(data []byte, dkey string) ([]byte, bool) {
+	if len(data) < 16 || string(data[:4]) != derivedMagic {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(data[4:8]) != DerivedFormatVersion ||
+		binary.LittleEndian.Uint32(data[8:12]) != CodecVersion {
+		return nil, false
+	}
+	keyLen := int(binary.LittleEndian.Uint32(data[12:16]))
+	if len(data) < 16+keyLen+16 {
+		return nil, false
+	}
+	if string(data[16:16+keyLen]) != dkey {
+		return nil, false
+	}
+	body := data[16+keyLen:]
+	payloadLen := binary.LittleEndian.Uint64(body[:8])
+	sum := binary.LittleEndian.Uint64(body[8:16])
+	payload := body[16:]
+	if uint64(len(payload)) != payloadLen {
+		return nil, false
+	}
+	if uint64(crc32.Checksum(payload, derivedCRC)) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// encodeDerivedFile frames a payload under its derived key.
+func encodeDerivedFile(dkey string, payload []byte) []byte {
+	out := make([]byte, 0, 16+len(dkey)+16+len(payload))
+	out = append(out, derivedMagic...)
+	out = binary.LittleEndian.AppendUint32(out, DerivedFormatVersion)
+	out = binary.LittleEndian.AppendUint32(out, CodecVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(dkey)))
+	out = append(out, dkey...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint64(out, uint64(crc32.Checksum(payload, derivedCRC)))
+	return append(out, payload...)
+}
+
+// saveDerived persists a derived payload under (key, dkey), staged and
+// atomically renamed like every other store write, then rebalances the
+// directory budget.
+func (st *store) saveDerived(key Key, dkey string, payload []byte) error {
+	f, err := os.CreateTemp(st.dir, "chirp-*.l2d.tmp")
+	if err != nil {
+		return fmt.Errorf("l2stream: staging derived sidecar: %w", err)
+	}
+	tmp := f.Name()
+	_, err = f.Write(encodeDerivedFile(dkey, payload))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, st.derivedPath(key, dkey))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("l2stream: persisting derived sidecar: %w", err)
+	}
+	st.gc()
+	return nil
+}
+
+// gc holds the persistent directory to its byte budget: capture groups
+// — a stream's .l2s metadata plus its .chtr spill payload and .l2d
+// derived sidecars, which stand or fall together — are evicted
+// least-recently-used first (by the group's newest mtime; loads touch
+// the .l2s, so "used" means read or written) until the directory
+// fits. Concurrent processes sharing a directory may each run gc; the
+// worst race outcome is a double eviction of the same group, and a
+// load racing an eviction reads as absent and recaptures.
+func (st *store) gc() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.limit <= 0 {
+		return
+	}
+	type group struct {
+		paths []string
+		bytes int64
+		mtime time.Time
+	}
+	ents, err := os.ReadDir(st.dir)
+	if err != nil {
+		obsCacheDiskErrors.Inc()
+		return
+	}
+	groups := map[string]*group{}
+	total := int64(0)
+	for _, ent := range ents {
+		name := ent.Name()
+		// Group id = the content-address hex in "chirp-<hex>…". Temp
+		// files and foreign files are left alone.
+		if !strings.HasPrefix(name, "chirp-") || strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		ext := filepath.Ext(name)
+		if ext != ".l2s" && ext != ".chtr" && ext != ".l2d" {
+			continue
+		}
+		id := strings.TrimPrefix(name, "chirp-")
+		if i := strings.IndexAny(id, "-."); i >= 0 {
+			id = id[:i]
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		g := groups[id]
+		if g == nil {
+			g = &group{}
+			groups[id] = g
+		}
+		g.paths = append(g.paths, filepath.Join(st.dir, name))
+		g.bytes += info.Size()
+		if m := info.ModTime(); m.After(g.mtime) {
+			g.mtime = m
+		}
+		total += info.Size()
+	}
+	obsStoreBytes.Set(total)
+	if total <= st.limit {
+		return
+	}
+	order := make([]*group, 0, len(groups))
+	//chirp:allow determinism groups are sorted by mtime below before eviction order matters
+	for _, g := range groups {
+		order = append(order, g)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].mtime.Before(order[j].mtime) })
+	for _, g := range order {
+		if total <= st.limit {
+			break
+		}
+		for _, p := range g.paths {
+			if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+				obsCacheDiskErrors.Inc()
+			}
+		}
+		total -= g.bytes
+		obsStoreEvictions.Inc()
+	}
+	obsStoreBytes.Set(total)
 }
 
 // load returns the persisted stream for key, or (nil, nil) when the
@@ -139,6 +400,17 @@ func (st *store) load(key Key) (*Stream, error) {
 		return nil, nil
 	}
 	s.sidecar = side
+	st.attachDerived(s, key)
+	// Touch the metadata file so the GC's LRU order counts reads as
+	// uses, not just the original capture time. Best-effort, and only
+	// worth a syscall when a byte budget means the GC can actually run.
+	st.mu.Lock()
+	limited := st.limit > 0
+	st.mu.Unlock()
+	if limited {
+		now := time.Now()
+		_ = os.Chtimes(meta, now, now)
+	}
 	return s, nil
 }
 
@@ -290,7 +562,9 @@ func (st *store) save(key Key, s *Stream) error {
 	}
 	if !s.Spilled() {
 		s.persistent = true
+		st.attachDerived(s, key)
 	}
+	st.gc()
 	return nil
 }
 

@@ -362,6 +362,21 @@ type Stream struct {
 	accEvts []Event
 	accErr  error
 
+	// Derived views (see derived.go): keyed single-flight memos of
+	// precomputed arrays, plus the persistence and accounting hooks the
+	// capture store and the cache install. dvLoad/dvSave are written
+	// once when the store loads or saves the stream, onGrow once when
+	// the cache commits it — all before other goroutines can reach the
+	// stream, so only the map itself needs the mutex.
+	// dvLoad returns a sidecar payload plus a release hook (either may
+	// be nil); the payload may alias a pooled buffer, so Derived calls
+	// release as soon as the spec's Decode has copied out of it.
+	derivedMu sync.Mutex
+	derived   map[string]*derivedSlot
+	dvLoad    func(key string) (payload []byte, release func())
+	dvSave    func(key string, payload []byte)
+	onGrow    func(delta int64)
+
 	spillPath string
 
 	// Spill-file lifetime. Replays of a spilled stream hold the file

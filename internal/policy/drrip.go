@@ -56,6 +56,10 @@ func (p *DRRIP) leader(set uint32) int {
 // OnAccess implements tlb.Policy.
 func (*DRRIP) OnAccess(*tlb.Access) {}
 
+// PassiveOnAccess declares the empty OnAccess above to the TLB so the
+// hot lookup path can skip the call (see tlb.PassiveOnAccess).
+func (*DRRIP) PassiveOnAccess() {}
+
 // OnHit implements tlb.Policy: hit promotion.
 func (p *DRRIP) OnHit(set uint32, way int, _ *tlb.Access) {
 	p.rrpv[int(set)*p.ways+way] = 0

@@ -16,11 +16,15 @@ import "github.com/chirplab/chirp/internal/tlb"
 type GHRP struct {
 	ways int
 
-	// outcomeHist is the global conditional-branch outcome history.
-	outcomeHist uint64
-	// addrHist folds low-order branch address bits, one nibble per
-	// branch.
-	addrHist uint64
+	// hist is the global branch-history state; it is the stream-pure
+	// part of GHRP, split out so replay drivers can precompute the
+	// signature sequence of a captured stream (see GHRPHistory).
+	hist GHRPHistory
+
+	// External-signature mode (tlb.SignatureFed): when extSigs is set,
+	// the driver feeds each access's signature and hist stays frozen.
+	extSigs bool
+	extSig  uint64
 
 	tables [3]*CounterTable
 	// deadThreshold: a summed counter value strictly above it predicts
@@ -55,23 +59,69 @@ func (g *GHRP) Attach(sets, ways int) {
 	g.rec = tlb.NewRecency(sets, ways)
 }
 
-// OnBranch implements tlb.BranchObserver: record conditional outcomes
-// and fold branch address bits, as the ISCA 2018 design does.
-func (g *GHRP) OnBranch(pc uint64, conditional, _ /*indirect*/, taken bool, _ uint64) {
+// GHRPHistory is GHRP's global branch-history state, split out of the
+// policy because it is a pure function of the committed branch stream:
+// a replay driver can run one GHRPHistory over a captured stream once
+// and record Signature per access — GHRP's histories change only on
+// branches, so a single value per access covers the demand hit/insert
+// and any prefetch fills the access triggers. The zero value is the
+// reset state.
+type GHRPHistory struct {
+	// outcomeHist is the global conditional-branch outcome history.
+	outcomeHist uint64
+	// addrHist folds low-order branch address bits, one nibble per
+	// branch.
+	addrHist uint64
+}
+
+// OnBranch records one committed branch: conditional outcomes enter
+// the outcome history, and every branch folds address bits, as the
+// ISCA 2018 design does.
+//
+//chirp:hotpath
+func (h *GHRPHistory) OnBranch(pc uint64, conditional, taken bool) {
 	if conditional {
 		bit := uint64(0)
 		if taken {
 			bit = 1
 		}
-		g.outcomeHist = g.outcomeHist<<1 | bit
+		h.outcomeHist = h.outcomeHist<<1 | bit
 	}
-	g.addrHist = g.addrHist<<4 | (pc>>2)&0xf
+	h.addrHist = h.addrHist<<4 | (pc>>2)&0xf
 }
 
-// signature combines the accessing PC with both global histories.
-func (g *GHRP) signature(pc uint64) uint64 {
-	return (pc >> 2) ^ (g.outcomeHist & 0xffff) ^ (g.addrHist&0xffffffff)<<13
+// Signature combines the accessing PC with both global histories.
+//
+//chirp:hotpath
+func (h *GHRPHistory) Signature(pc uint64) uint64 {
+	return (pc >> 2) ^ (h.outcomeHist & 0xffff) ^ (h.addrHist&0xffffffff)<<13
 }
+
+// OnBranch implements tlb.BranchObserver.
+func (g *GHRP) OnBranch(pc uint64, conditional, _ /*indirect*/, taken bool, _ uint64) {
+	g.hist.OnBranch(pc, conditional, taken)
+}
+
+// signature returns the current access's signature: the fed value in
+// external-signature mode, otherwise computed from the live histories.
+//
+//chirp:hotpath
+func (g *GHRP) signature(pc uint64) uint64 {
+	if g.extSigs {
+		return g.extSig
+	}
+	return g.hist.Signature(pc)
+}
+
+// BeginExternalSignatures implements tlb.SignatureFed.
+func (g *GHRP) BeginExternalSignatures() { g.extSigs = true }
+
+// SetSignatures implements tlb.SignatureFed. GHRP's histories advance
+// only on branches, so one signature covers the demand access and its
+// prefetch fills alike; the prefetch value is ignored.
+//
+//chirp:hotpath
+func (g *GHRP) SetSignatures(demand, _ uint64) { g.extSig = demand }
 
 // indices derives the three skewed table indices from a signature.
 func (g *GHRP) indices(sig uint64) [3]uint64 {
@@ -110,6 +160,10 @@ func (g *GHRP) train(sig uint64, dead bool) {
 
 // OnAccess implements tlb.Policy.
 func (*GHRP) OnAccess(*tlb.Access) {}
+
+// PassiveOnAccess declares the empty OnAccess above to the TLB so the
+// hot lookup path can skip the call (see tlb.PassiveOnAccess).
+func (*GHRP) PassiveOnAccess() {}
 
 // OnHit implements tlb.Policy: the entry proved live under its stored
 // signature — train toward live, then re-predict under the current

@@ -1,0 +1,44 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGHRPHistoryMatchesLivePolicy: the standalone GHRPHistory (used to
+// precompute signature sequences from captured streams) must track a
+// live GHRP's registers exactly — same branch gating, same signature
+// hash — over an arbitrary branch/access interleaving.
+func TestGHRPHistoryMatchesLivePolicy(t *testing.T) {
+	g := NewGHRP(4096)
+	g.Attach(64, 8)
+	var h GHRPHistory
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		pc := rng.Uint64() & 0xffff_ffff
+		if rng.Intn(3) == 0 {
+			conditional := rng.Intn(2) == 0
+			taken := rng.Intn(2) == 0
+			g.OnBranch(pc, conditional, rng.Intn(2) == 0, taken, rng.Uint64())
+			h.OnBranch(pc, conditional, taken)
+			continue
+		}
+		if got, want := g.signature(pc), h.Signature(pc); got != want {
+			t.Fatalf("event %d: live GHRP signature %#x, GHRPHistory computed %#x", i, got, want)
+		}
+	}
+}
+
+// TestGHRPExternalSignatures: a fed GHRP must ignore its own registers
+// and answer with exactly the injected signature.
+func TestGHRPExternalSignatures(t *testing.T) {
+	g := NewGHRP(4096)
+	g.Attach(64, 8)
+	g.OnBranch(0x1234, true, false, true, 0)
+	g.BeginExternalSignatures()
+	g.SetSignatures(0xdeadbeef, 0)
+	if got := g.signature(0x9999); got != 0xdeadbeef {
+		t.Fatalf("fed GHRP signature = %#x, want the injected %#x", got, uint64(0xdeadbeef))
+	}
+}

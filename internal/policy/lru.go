@@ -21,6 +21,10 @@ func (p *LRU) Attach(sets, ways int) { p.rec = tlb.NewRecency(sets, ways) }
 // OnAccess implements tlb.Policy.
 func (*LRU) OnAccess(*tlb.Access) {}
 
+// PassiveOnAccess declares the empty OnAccess above to the TLB so the
+// hot lookup path can skip the call (see tlb.PassiveOnAccess).
+func (*LRU) PassiveOnAccess() {}
+
 // OnHit implements tlb.Policy.
 func (p *LRU) OnHit(set uint32, way int, _ *tlb.Access) { p.rec.Touch(set, way) }
 

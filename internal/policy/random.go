@@ -26,6 +26,10 @@ func (p *Random) Attach(_, ways int) { p.ways = ways }
 // OnAccess implements tlb.Policy.
 func (*Random) OnAccess(*tlb.Access) {}
 
+// PassiveOnAccess declares the empty OnAccess above to the TLB so the
+// hot lookup path can skip the call (see tlb.PassiveOnAccess).
+func (*Random) PassiveOnAccess() {}
+
 // OnHit implements tlb.Policy.
 func (*Random) OnHit(uint32, int, *tlb.Access) {}
 

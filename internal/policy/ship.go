@@ -128,6 +128,10 @@ func (p *SHiP) shctDec(sig uint64) {
 // OnAccess implements tlb.Policy.
 func (*SHiP) OnAccess(*tlb.Access) {}
 
+// PassiveOnAccess declares the empty OnAccess above to the TLB so the
+// hot lookup path can skip the call (see tlb.PassiveOnAccess).
+func (*SHiP) PassiveOnAccess() {}
+
 // OnHit implements tlb.Policy: promote in SRRIP; on the first
 // re-reference train the SHCT toward "reused". Like the paper's SHiP
 // adaptation (§IV-E: SHiP and GHRP "must access tables on every access

@@ -37,6 +37,10 @@ func (p *SRRIP) Attach(sets, ways int) {
 // OnAccess implements tlb.Policy.
 func (*SRRIP) OnAccess(*tlb.Access) {}
 
+// PassiveOnAccess declares the empty OnAccess above to the TLB so the
+// hot lookup path can skip the call (see tlb.PassiveOnAccess).
+func (*SRRIP) PassiveOnAccess() {}
+
 // OnHit implements tlb.Policy. Hit promotion: RRPV ← 0.
 func (p *SRRIP) OnHit(set uint32, way int, _ *tlb.Access) {
 	p.rrpv[int(set)*p.ways+way] = 0

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/chirplab/chirp/internal/l2stream"
+	"github.com/chirplab/chirp/internal/tlb"
+	"github.com/chirplab/chirp/internal/trace"
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+// persistentStreamFor loads (or captures) a workload's stream through a
+// fresh persistent cache over dir, so repeated calls against the same
+// dir exercise the warm disk path.
+func persistentStreamFor(t *testing.T, dir, name string, cfg TLBOnlyConfig) (*l2stream.Cache, *l2stream.Stream) {
+	t.Helper()
+	cache, err := l2stream.NewPersistent(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cache.Close() })
+	stream, err := StreamFor(cache, name, cfg, func() (trace.Source, error) {
+		w := workloads.ByName(name)
+		if w == nil {
+			t.Fatalf("workload %s missing", name)
+		}
+		return trace.NewLimit(w.Source(), cfg.Instructions), nil
+	})
+	if err != nil {
+		t.Fatalf("stream for %s: %v", name, err)
+	}
+	return cache, stream
+}
+
+func allPolicies(t *testing.T) []tlb.Policy {
+	t.Helper()
+	names := PolicyNames()
+	pols := make([]tlb.Policy, len(names))
+	for i, n := range names {
+		pol, err := NewPolicy(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pols[i] = pol
+	}
+	return pols
+}
+
+func soloResults(t *testing.T, stream *l2stream.Stream, cfg TLBOnlyConfig) []TLBOnlyResult {
+	t.Helper()
+	names := PolicyNames()
+	out := make([]TLBOnlyResult, len(names))
+	for i, n := range names {
+		pol, err := NewPolicy(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i], err = ReplayTLBOnly(stream, pol, cfg)
+		if err != nil {
+			t.Fatalf("%s solo replay: %v", n, err)
+		}
+	}
+	return out
+}
+
+// TestReplayMultiPersistentWarmEquivalence gates the warm-persistent
+// path: a first fused replay persists derived sidecars next to the
+// capture; a second process (modelled by a fresh cache over the same
+// directory) loads the stream and its views from disk and must still
+// match every policy's solo replay bit for bit.
+func TestReplayMultiPersistentWarmEquivalence(t *testing.T) {
+	const instructions = 200000
+	for _, pd := range []int{0, 4} {
+		cfg := DefaultTLBOnlyConfig(instructions)
+		cfg.PrefetchDistance = pd
+		for _, wname := range []string{"db-003", "spec-000"} {
+			dir := t.TempDir()
+
+			_, cold := persistentStreamFor(t, dir, wname, cfg)
+			if _, err := ReplayMulti(cold, allPolicies(t), cfg); err != nil {
+				t.Fatalf("%s pd=%d cold fused: %v", wname, pd, err)
+			}
+			if n := len(sidecarFiles(t, dir)); n == 0 {
+				t.Fatalf("%s pd=%d: cold fused replay left no derived sidecars", wname, pd)
+			}
+
+			_, warm := persistentStreamFor(t, dir, wname, cfg)
+			fused, err := ReplayMulti(warm, allPolicies(t), cfg)
+			if err != nil {
+				t.Fatalf("%s pd=%d warm fused: %v", wname, pd, err)
+			}
+			want := soloResults(t, warm, cfg)
+			for i, pname := range PolicyNames() {
+				if fused[i] != want[i] {
+					t.Errorf("%s/%s pd=%d: warm-persistent fused replay diverged\n solo:  %+v\n fused: %+v",
+						wname, pname, pd, want[i], fused[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReplayMultiParallelEquivalence forces the worker pool wider than
+// this machine may be (the public entry point sizes it to GOMAXPROCS),
+// so the concurrent scheduling path is exercised even on one CPU.
+func TestReplayMultiParallelEquivalence(t *testing.T) {
+	cfg := DefaultTLBOnlyConfig(200000)
+	cfg.PrefetchDistance = 4
+	stream := captureFor(t, "web-001", cfg)
+	defer stream.Close()
+	fused, err := replayMulti(stream, allPolicies(t), cfg, 4)
+	if err != nil {
+		t.Fatalf("parallel fused replay: %v", err)
+	}
+	want := soloResults(t, stream, cfg)
+	for i, pname := range PolicyNames() {
+		if fused[i] != want[i] {
+			t.Errorf("%s: parallel fused replay diverged\n solo:  %+v\n fused: %+v", pname, want[i], fused[i])
+		}
+	}
+}
+
+// TestReplayMultiDerivedCorruptionRecovers: damaged or truncated
+// sidecars must be treated as absent — the views rebuild from the
+// stream and the results do not change.
+func TestReplayMultiDerivedCorruptionRecovers(t *testing.T) {
+	cfg := DefaultTLBOnlyConfig(150000)
+	cfg.PrefetchDistance = 4
+	dir := t.TempDir()
+
+	_, cold := persistentStreamFor(t, dir, "sci-002", cfg)
+	want, err := ReplayMulti(cold, allPolicies(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sidecars := sidecarFiles(t, dir)
+	if len(sidecars) == 0 {
+		t.Fatal("fused replay left no derived sidecars")
+	}
+	for i, p := range sidecars {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			data[len(data)/2] ^= 0x40 // bit damage
+		} else {
+			data = data[:len(data)/3] // truncation
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, warm := persistentStreamFor(t, dir, "sci-002", cfg)
+	fused, err := ReplayMulti(warm, allPolicies(t), cfg)
+	if err != nil {
+		t.Fatalf("fused replay over corrupt sidecars: %v", err)
+	}
+	for i, pname := range PolicyNames() {
+		if fused[i] != want[i] {
+			t.Errorf("%s: replay after sidecar corruption diverged\n before: %+v\n after:  %+v", pname, want[i], fused[i])
+		}
+	}
+}
+
+func sidecarFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.l2d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}

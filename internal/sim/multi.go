@@ -4,34 +4,46 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
+	"github.com/chirplab/chirp/internal/core"
 	"github.com/chirplab/chirp/internal/l2stream"
+	"github.com/chirplab/chirp/internal/policy"
 	"github.com/chirplab/chirp/internal/tlb"
 	"github.com/chirplab/chirp/internal/trace"
 )
 
-// ReplayMulti drives all N policies over a captured stream in a single
-// pass: the stream is decoded once, in blocks, and every policy's L2
-// TLB consumes each block before the next is decoded — instead of N
-// independent traversals each materializing and walking the memoized
-// views. Results are bit-identical to calling ReplayTLBOnly once per
-// policy, in the same order as policies.
+// ReplayMulti drives all N policies over a captured stream's derived
+// views: the dense access sequence (PC/VPN/set-index arrays plus the
+// precomputed stride-prefetch fill schedule) is materialized once per
+// (stream, geometry, prefetch distance) and every policy walks it
+// independently; predictive policies additionally consume their
+// precomputed signature sequence (tlb.SignatureFed), so no policy
+// maintains history registers at replay time. Policies are partitioned
+// across min(N, GOMAXPROCS) goroutines sharing the read-only views.
+// Results are bit-identical to calling ReplayTLBOnly once per policy,
+// in the same order as policies.
 //
-// The equivalence argument: the captured event sequence is fixed, and
-// policy state lives entirely inside each policy's own TLB, so the
-// callback sequence a given policy observes — Lookup, Insert, prefetch
-// fills, branch and warmup callbacks, in event order — is exactly the
-// solo replay's. Interleaving other policies' callbacks between them
-// (here at block granularity) touches disjoint state. Branch events
-// are walked only by policies that observe branches; the rest walk the
-// access/warmup subsequence, which is what the solo replay's
-// branch-free view contains. The stride prefetcher trains on the
-// demand access stream, which is policy-invariant, so one shared
-// prefetcher (trained once per block, before any policy walks it)
-// reproduces every solo prefetcher's decisions; only the
-// Contains-gated fills differ per policy, and those are driven per
-// TLB.
+// The equivalence argument: the captured event sequence is fixed and
+// policy state lives entirely inside each policy's own TLB, so each
+// policy's callback sequence — Lookup, Insert, prefetch fills, warmup
+// latch, in access order — is exactly the solo replay's. What the solo
+// replay derives per event (set indices, stride-prefetch decisions,
+// CHiRP/GHRP signatures) is a pure function of the stream, computed
+// once by the derived views through the same code the live policies
+// run; branch events matter only through those signatures, so fed
+// policies never walk them. A branch-observing policy outside the
+// known signature families falls back to a solo-shaped replay over the
+// memoized full event view.
 func ReplayMulti(stream *l2stream.Stream, policies []tlb.Policy, cfg TLBOnlyConfig) ([]TLBOnlyResult, error) {
+	return replayMulti(stream, policies, cfg, runtime.GOMAXPROCS(0))
+}
+
+// replayMulti is ReplayMulti with an explicit worker count, so tests
+// can force the parallel schedule on any host.
+func replayMulti(stream *l2stream.Stream, policies []tlb.Policy, cfg TLBOnlyConfig, workers int) ([]TLBOnlyResult, error) {
 	if len(policies) == 0 {
 		return nil, errors.New("sim: ReplayMulti needs at least one policy")
 	}
@@ -39,230 +51,318 @@ func ReplayMulti(stream *l2stream.Stream, policies []tlb.Policy, cfg TLBOnlyConf
 		return nil, fmt.Errorf("sim: stream captured under %+v cannot replay %+v", got, want)
 	}
 	if stream.Spilled() {
-		return replayMultiSpilled(stream, policies, cfg)
+		return replayMultiSpilled(stream, policies, cfg, workers)
 	}
 	if !stream.Warmed() {
 		return nil, fmt.Errorf("sim: trace ended before warmup boundary (%d < %d instructions)", stream.Instructions(), stream.WarmupAt())
 	}
-
-	ms := &multiReplayState{
-		tlbs:   make([]*tlb.TLB, len(policies)),
-		obs:    make([]tlb.BranchObserver, len(policies)),
-		warm:   make([]tlb.Stats, len(policies)),
-		accEvs: make([]l2stream.Event, replayBlock),
-	}
-	for i, p := range policies {
-		t, err := tlb.New(cfg.Hierarchy.L2, p)
-		if err != nil {
-			return nil, err
-		}
-		ms.tlbs[i] = t
-		if bo, ok := p.(tlb.BranchObserver); ok {
-			ms.obs[i] = bo
-		}
-	}
-	if cfg.PrefetchDistance > 0 {
-		ms.pf = newStridePrefetcher(cfg.PrefetchDistance)
-		ms.pfIdx = make([]int32, replayBlock*cfg.PrefetchDistance)
-		ms.pfVPN = make([]uint64, replayBlock*cfg.PrefetchDistance)
-	}
-
-	// Stream the decode in blocks — a fused pass is single-shot, so
-	// materializing the memoized views would be pure overhead. A
-	// persistent-store load carries a fixed-width sidecar (see
-	// store.go) that decodes several times cheaper than the varint
-	// buffer; prefer it when present.
-	var evs [replayBlock]l2stream.Event
-	if fd, ok := stream.DecodeFixed(); ok {
-		for {
-			n := fd.NextBlock(evs[:])
-			if n == 0 {
-				break
-			}
-			ms.replayEvents(evs[:n])
-		}
-	} else {
-		d := stream.Decode()
-		for {
-			n := d.NextBlock(evs[:])
-			if n == 0 {
-				break
-			}
-			ms.replayEvents(evs[:n])
-		}
-		if err := d.Err(); err != nil {
-			return nil, err
-		}
+	rv, err := replayViewFor(stream, cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	out := make([]TLBOnlyResult, len(policies))
-	for i, p := range policies {
-		l2 := ms.tlbs[i]
-		l2.FlushAccounting()
-		publishRun(p, l2)
-		out[i] = replayResult(stream, p, l2, ms.warm[i])
+	errs := make([]error, len(policies))
+	runPolicies(workers, len(policies), func(j int) {
+		out[j], errs[j] = replayOne(stream, rv, policies[j], cfg)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
+}
+
+// runPolicies executes job(0..n-1), fanning across workers goroutines
+// when more than one is requested. Jobs touch disjoint state, so the
+// only synchronization is the shared work counter and the final join.
+// A panicking worker stops pulling jobs; its panic value is re-raised
+// on the caller's goroutine after the join, preserving the caller's
+// recover semantics (suite.go's protectMulti).
+func runPolicies(workers, n int, job func(j int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for j := 0; j < n; j++ {
+			job(j)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				j := int(next.Add(1))
+				if j >= n {
+					return
+				}
+				job(j)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// replayOne replays a single policy over the shared derived views:
+// CHiRP and GHRP run in external-signature mode against their
+// precomputed sequences, other branch observers fall back to the
+// solo-shaped full-event replay (still over the memoized view), and
+// everything else walks the dense access view directly.
+func replayOne(stream *l2stream.Stream, rv *replayView, p tlb.Policy, cfg TLBOnlyConfig) (TLBOnlyResult, error) {
+	switch pp := p.(type) {
+	case *core.CHiRP:
+		sigs, err := chirpSigsFor(stream, pp.Config())
+		if err != nil {
+			return TLBOnlyResult{}, err
+		}
+		t, err := tlb.New(cfg.Hierarchy.L2, p)
+		if err != nil {
+			return TLBOnlyResult{}, err
+		}
+		pp.BeginExternalSignatures()
+		w := denseWalker{t: t}
+		w.walkCHiRP(rv, pp, sigs)
+		return finishReplay(stream, p, t, w.warm), nil
+	case *policy.GHRP:
+		sigs, err := ghrpSigsFor(stream)
+		if err != nil {
+			return TLBOnlyResult{}, err
+		}
+		t, err := tlb.New(cfg.Hierarchy.L2, p)
+		if err != nil {
+			return TLBOnlyResult{}, err
+		}
+		pp.BeginExternalSignatures()
+		w := denseWalker{t: t}
+		w.walkGHRP(rv, pp, sigs)
+		return finishReplay(stream, p, t, w.warm), nil
+	default:
+		if _, observes := p.(tlb.BranchObserver); observes {
+			return ReplayTLBOnly(stream, p, cfg)
+		}
+		t, err := tlb.New(cfg.Hierarchy.L2, p)
+		if err != nil {
+			return TLBOnlyResult{}, err
+		}
+		w := denseWalker{t: t}
+		w.walkPlain(rv)
+		return finishReplay(stream, p, t, w.warm), nil
+	}
+}
+
+// finishReplay closes out one policy's replayed TLB: accounting flush,
+// metric publication, result assembly — the same epilogue as the solo
+// replay, off the hot path.
+func finishReplay(stream *l2stream.Stream, p tlb.Policy, t *tlb.TLB, warm tlb.Stats) TLBOnlyResult {
+	t.FlushAccounting()
+	publishRun(p, t)
+	res := replayResult(stream, p, t, warm)
+	t.Release()
+	return res
+}
+
+// denseWalker drives one policy's TLB over the dense replay view. The
+// Access structs live in the struct: they escape into the policy
+// interface calls, so loop-locals would heap-allocate per access.
+//
+// The walkers update a and pa with field writes rather than struct
+// literals, skipping the per-access zeroing stores. That relies on two
+// invariants: ASID stays at its zero value for the walk's lifetime
+// (replay views are single-address-space), and the fields a walker
+// does not write are either never read stale (pa.Set and pa.Prefetch
+// are overwritten by InsertPrefetch before use) or never written by
+// the TLB at all (a.Prefetch on the demand path).
+type denseWalker struct {
+	t     *tlb.TLB
+	warm  tlb.Stats
+	a, pa tlb.Access
+}
+
+// walkPlain replays the dense view into a policy with no signature
+// feed: the demand walk plus Contains-gated prefetch fills, with the
+// warm stats latched where the warmup marker sat.
+//
+//chirp:hotpath
+func (w *denseWalker) walkPlain(v *replayView) {
+	t := w.t
+	pcs := v.pc
+	// The reslices pin every column to len(pcs) so the loop indexes
+	// without per-column bounds checks.
+	vpns := v.vpn[:len(pcs)]
+	sets := v.set[:len(pcs)]
+	instrs := v.instr[:len(pcs)]
+	pfOff, pfVPN := v.pfOff, v.pfVPN
+	for i := range pcs {
+		if i == v.warmIdx {
+			w.warm = t.Stats()
+		}
+		instr := instrs[i] != 0
+		vpn := vpns[i]
+		w.a.PC = pcs[i]
+		w.a.VPN = vpn
+		w.a.Set = sets[i]
+		w.a.Instr = instr
+		if _, hit := t.LookupIndexed(&w.a); !hit {
+			t.Insert(&w.a, vpn)
+		}
+		if pfOff != nil {
+			for k := pfOff[i]; k < pfOff[i+1]; k++ {
+				pv := pfVPN[k]
+				if t.Contains(pv) {
+					continue
+				}
+				w.pa.PC = pcs[i]
+				w.pa.VPN = pv
+				w.pa.Instr = instr
+				t.InsertPrefetch(&w.pa, pv)
+			}
+		}
+	}
+	if v.warmIdx == len(pcs) {
+		w.warm = t.Stats()
+	}
+}
+
+// walkCHiRP is walkPlain feeding CHiRP its precomputed signature pair
+// per access (demand in the low half, prefetch in the high half). The
+// concrete receiver keeps the SetSignatures call devirtualized.
+//
+//chirp:hotpath
+func (w *denseWalker) walkCHiRP(v *replayView, p *core.CHiRP, sigs []uint32) {
+	t := w.t
+	pcs := v.pc
+	vpns := v.vpn[:len(pcs)]
+	sets := v.set[:len(pcs)]
+	instrs := v.instr[:len(pcs)]
+	sigs = sigs[:len(pcs)]
+	pfOff, pfVPN := v.pfOff, v.pfVPN
+	for i := range pcs {
+		if i == v.warmIdx {
+			w.warm = t.Stats()
+		}
+		s := sigs[i]
+		p.SetSignatures(uint64(s&0xffff), uint64(s>>16))
+		instr := instrs[i] != 0
+		vpn := vpns[i]
+		w.a.PC = pcs[i]
+		w.a.VPN = vpn
+		w.a.Set = sets[i]
+		w.a.Instr = instr
+		if _, hit := t.LookupIndexed(&w.a); !hit {
+			t.Insert(&w.a, vpn)
+		}
+		if pfOff != nil {
+			for k := pfOff[i]; k < pfOff[i+1]; k++ {
+				pv := pfVPN[k]
+				if t.Contains(pv) {
+					continue
+				}
+				w.pa.PC = pcs[i]
+				w.pa.VPN = pv
+				w.pa.Instr = instr
+				t.InsertPrefetch(&w.pa, pv)
+			}
+		}
+	}
+	if v.warmIdx == len(pcs) {
+		w.warm = t.Stats()
+	}
+}
+
+// walkGHRP is walkPlain feeding GHRP its precomputed signature per
+// access.
+//
+//chirp:hotpath
+func (w *denseWalker) walkGHRP(v *replayView, p *policy.GHRP, sigs []uint64) {
+	t := w.t
+	pcs := v.pc
+	vpns := v.vpn[:len(pcs)]
+	sets := v.set[:len(pcs)]
+	instrs := v.instr[:len(pcs)]
+	sigs = sigs[:len(pcs)]
+	pfOff, pfVPN := v.pfOff, v.pfVPN
+	for i := range pcs {
+		if i == v.warmIdx {
+			w.warm = t.Stats()
+		}
+		p.SetSignatures(sigs[i], 0)
+		instr := instrs[i] != 0
+		vpn := vpns[i]
+		w.a.PC = pcs[i]
+		w.a.VPN = vpn
+		w.a.Set = sets[i]
+		w.a.Instr = instr
+		if _, hit := t.LookupIndexed(&w.a); !hit {
+			t.Insert(&w.a, vpn)
+		}
+		if pfOff != nil {
+			for k := pfOff[i]; k < pfOff[i+1]; k++ {
+				pv := pfVPN[k]
+				if t.Contains(pv) {
+					continue
+				}
+				w.pa.PC = pcs[i]
+				w.pa.VPN = pv
+				w.pa.Instr = instr
+				t.InsertPrefetch(&w.pa, pv)
+			}
+		}
+	}
+	if v.warmIdx == len(pcs) {
+		w.warm = t.Stats()
+	}
 }
 
 // replayMultiSpilled replays a spilled stream: the event view never
 // materialized, so each policy re-runs the direct driver over the
 // record file — held retained for the whole fan-out so a racing
-// Cache.Close cannot delete it mid-read.
-func replayMultiSpilled(stream *l2stream.Stream, policies []tlb.Policy, cfg TLBOnlyConfig) ([]TLBOnlyResult, error) {
+// Cache.Close cannot delete it mid-read. Policies fan across the same
+// worker pool as the in-memory path; each opens its own reader.
+func replayMultiSpilled(stream *l2stream.Stream, policies []tlb.Policy, cfg TLBOnlyConfig, workers int) ([]TLBOnlyResult, error) {
 	path, release, err := stream.RetainSpill()
 	if err != nil {
 		return nil, err
 	}
 	defer release()
 	out := make([]TLBOnlyResult, len(policies))
-	for i, p := range policies {
+	errs := make([]error, len(policies))
+	runPolicies(workers, len(policies), func(j int) {
 		fs, err := trace.OpenFile(path)
 		if err != nil {
-			return nil, fmt.Errorf("sim: opening spilled stream: %w", err)
+			errs[j] = fmt.Errorf("sim: opening spilled stream: %w", err)
+			return
 		}
-		out[i], err = RunTLBOnly(fs, p, cfg)
+		out[j], errs[j] = RunTLBOnly(fs, policies[j], cfg)
 		fs.Close()
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
-}
-
-// replayBlock is the fused kernel's block size: small enough that a
-// decoded block (~10 KB) stays L1-resident across every policy's walk,
-// large enough to amortize the per-block classification pass.
-const replayBlock = 256
-
-// multiReplayState is the fused kernel's struct-of-arrays policy
-// state: slot j of every slice belongs to policy j. The scratch slices
-// are sized once at construction and reused every block — replayEvents
-// is a hot path and must not allocate. The hoisted Access structs
-// escape into the policy interface calls — loop-local ones would
-// heap-allocate once per (event, policy).
-type multiReplayState struct {
-	tlbs []*tlb.TLB
-	obs  []tlb.BranchObserver // slot j non-nil iff policy j observes branches
-	warm []tlb.Stats          // per-policy stats latched at the warmup marker
-	pf   *stridePrefetcher    // shared: its training input is policy-invariant
-
-	accEvs []l2stream.Event // block scratch: dense access/warmup sub-block
-	pfIdx  []int32          // block scratch: dense sub-block index of each prefetch fill
-	pfVPN  []uint64
-
-	a2, pa tlb.Access
-}
-
-// replayEvents drives one decoded event block through every policy
-// TLB, block-policy-major: pass 0 does the policy-invariant work once
-// (classify events, train the shared prefetcher, record its fills
-// keyed by event index), then each policy walks the block with its TLB
-// hot in cache. Non-observers walk only the access/warmup index list —
-// the block-local analogue of the solo replay's branch-free view, so
-// they never touch the branch events that outnumber accesses
-// several-fold. Per policy the callback order matches the solo replay
-// exactly: demand Lookup/Insert, then that event's prefetch fills in
-// prefetcher order, branches in stream order for observers.
-//
-//chirp:hotpath
-func (r *multiReplayState) replayEvents(evs []l2stream.Event) {
-	// Pass 0: compact the access/warmup subsequence into the dense
-	// sub-block non-observers walk (contiguous, L1-resident — the
-	// block-local equivalent of the solo branch-free view, without its
-	// allocation) and train the shared prefetcher, recording fills
-	// against their access's dense index.
-	nAcc, nPF := 0, 0
-	for i := range evs {
-		ev := &evs[i]
-		switch ev.Kind {
-		case l2stream.EventInstrAccess, l2stream.EventDataAccess:
-			r.accEvs[nAcc] = *ev
-			if r.pf != nil {
-				for _, pv := range r.pf.observe(ev.PC, ev.VPN) {
-					r.pfIdx[nPF] = int32(nAcc)
-					r.pfVPN[nPF] = pv
-					nPF++
-				}
-			}
-			nAcc++
-		case l2stream.EventWarmup:
-			r.accEvs[nAcc] = *ev
-			nAcc++
-		}
-	}
-	acc := r.accEvs[:nAcc]
-	for j := range r.tlbs {
-		if bo := r.obs[j]; bo != nil {
-			r.walkEvents(r.tlbs[j], j, bo, evs, r.pfIdx[:nPF])
-		} else {
-			r.walkAccesses(r.tlbs[j], j, acc, r.pfIdx[:nPF])
-		}
-	}
-}
-
-// walkAccesses replays one dense access/warmup sub-block into a
-// non-observer policy's TLB. Fill indices key the sub-block.
-//
-//chirp:hotpath
-func (r *multiReplayState) walkAccesses(t *tlb.TLB, j int, acc []l2stream.Event, pfIdx []int32) {
-	pfk := 0
-	for i := range acc {
-		ev := &acc[i]
-		if ev.Kind == l2stream.EventWarmup {
-			r.warm[j] = t.Stats()
-			continue
-		}
-		instr := ev.Kind == l2stream.EventInstrAccess
-		r.a2 = tlb.Access{PC: ev.PC, VPN: ev.VPN, Instr: instr}
-		if _, hit := t.Lookup(&r.a2); !hit {
-			t.Insert(&r.a2, ev.VPN)
-		}
-		for pfk < len(pfIdx) && pfIdx[pfk] == int32(i) {
-			pv := r.pfVPN[pfk]
-			pfk++
-			if t.Contains(pv) {
-				continue
-			}
-			r.pa = tlb.Access{PC: ev.PC, VPN: pv, Instr: instr}
-			t.InsertPrefetch(&r.pa, pv)
-		}
-	}
-}
-
-// walkEvents replays one full block into a branch-observing policy's
-// TLB, walking every event; ord tracks the dense sub-block position so
-// prefetch fills land on the same accesses walkAccesses lands them on.
-//
-//chirp:hotpath
-func (r *multiReplayState) walkEvents(t *tlb.TLB, j int, bo tlb.BranchObserver, evs []l2stream.Event, pfIdx []int32) {
-	pfk, ord := 0, int32(0)
-	for i := range evs {
-		ev := &evs[i]
-		switch ev.Kind {
-		case l2stream.EventInstrAccess, l2stream.EventDataAccess:
-			instr := ev.Kind == l2stream.EventInstrAccess
-			r.a2 = tlb.Access{PC: ev.PC, VPN: ev.VPN, Instr: instr}
-			if _, hit := t.Lookup(&r.a2); !hit {
-				t.Insert(&r.a2, ev.VPN)
-			}
-			for pfk < len(pfIdx) && pfIdx[pfk] == ord {
-				pv := r.pfVPN[pfk]
-				pfk++
-				if t.Contains(pv) {
-					continue
-				}
-				r.pa = tlb.Access{PC: ev.PC, VPN: pv, Instr: instr}
-				t.InsertPrefetch(&r.pa, pv)
-			}
-			ord++
-		case l2stream.EventBranch:
-			bo.OnBranch(ev.PC, ev.Conditional, ev.Indirect, ev.Taken, ev.Target)
-		case l2stream.EventWarmup:
-			r.warm[j] = t.Stats()
-			ord++
-		}
-	}
 }
 
 // RunMulti measures one workload under every policy in factories,

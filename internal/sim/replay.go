@@ -104,7 +104,9 @@ func ReplayTLBOnly(stream *l2stream.Stream, l2p tlb.Policy, cfg TLBOnlyConfig) (
 
 	l2.FlushAccounting()
 	publishRun(l2p, l2)
-	return replayResult(stream, l2p, l2, warmStats), nil
+	res := replayResult(stream, l2p, l2, warmStats)
+	l2.Release()
+	return res, nil
 }
 
 // replayResult assembles a replayed policy's result from its finished

@@ -166,6 +166,9 @@ func RunTLBOnly(src trace.Source, l2p tlb.Policy, cfg TLBOnlyConfig) (TLBOnlyRes
 			res.TableAccessRate = float64(res.TableReads+res.TableWrites) / float64(st.Accesses)
 		}
 	}
+	l1i.Release()
+	l1d.Release()
+	l2.Release()
 	return res, nil
 }
 

@@ -12,6 +12,7 @@ package tlb
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // Access describes one lookup presented to a TLB and to its policy.
@@ -82,6 +83,35 @@ type BranchObserver interface {
 	// conditional, whether it is an indirect unconditional branch, its
 	// outcome and its target.
 	OnBranch(pc uint64, conditional, indirect, taken bool, target uint64)
+}
+
+// SignatureFed is implemented by predictive policies whose per-access
+// signatures are pure functions of the event stream (CHiRP, GHRP).
+// Replay drivers that have precomputed the signature sequence for a
+// captured stream switch the policy into external-signature mode and
+// feed each access's signatures instead of the policy maintaining its
+// history registers event by event. In this mode the driver delivers
+// no OnBranch calls; the policy must not read its own histories.
+type SignatureFed interface {
+	// BeginExternalSignatures switches the policy into fed mode for the
+	// rest of its lifetime. Call before the first access.
+	BeginExternalSignatures()
+	// SetSignatures installs the signatures for the next access:
+	// demand is used by the access itself (OnAccess/OnHit/OnInsert),
+	// prefetch by any prefetch fills issued on behalf of that access
+	// (whose signature may differ when the demand access itself
+	// advanced a history). Policies truncate to their own width.
+	SetSignatures(demand, prefetch uint64)
+}
+
+// PassiveOnAccess marks policies whose OnAccess body is empty — they
+// keep no per-access state outside OnHit/OnInsert. The TLB elides the
+// interface call on its hottest path for such policies. This is purely
+// an optimization: a policy may only implement it if skipping OnAccess
+// is behaviorally identical to calling it.
+type PassiveOnAccess interface {
+	// PassiveOnAccess is a marker; implementations leave it empty.
+	PassiveOnAccess()
 }
 
 // TableAccounting is implemented by predictive policies that maintain
@@ -165,14 +195,24 @@ func (s Stats) Efficiency() float64 {
 	return float64(s.liveTime) / float64(s.residentTime)
 }
 
+// entry holds one translation. Validity is not stored here: the
+// per-set bitmask (TLB.valid) and the packed tag array are the only
+// authorities, which lets New reuse pooled entry arrays without
+// zeroing them — a stale entry is unreachable until Insert overwrites
+// it, because every read is gated on a tag match or a valid bit.
 type entry struct {
 	vpn     uint64
 	ppn     uint64
 	insert  uint64 // access-time of fill
 	lastHit uint64 // access-time of most recent hit (== insert when never hit)
 	asid    uint16
-	valid   bool
 }
+
+// tagFree marks an invalid way in the packed tag array. It can never
+// collide with a real translation: VPNs are virtual addresses shifted
+// right by PageShift, which Config.Validate bounds to at least 1, so
+// the all-ones pattern is unreachable.
+const tagFree = ^uint64(0)
 
 // TLB is a set-associative translation buffer.
 type TLB struct {
@@ -183,19 +223,38 @@ type TLB struct {
 	setMask uint64
 	entries []entry // sets × ways, row-major
 	// tags mirrors entries' VPNs and valid mirrors their valid bits
-	// (bit w of valid[s] covers way w of set s). The way scan reads
-	// only these — one cache line per 8-way probe instead of six lines
-	// of 48-byte entries — and touches an entry only on a tag match.
+	// (bit w of valid[s] covers way w of set s). Invalid ways hold
+	// tagFree, so the way scan is a bare tag compare — one cache line
+	// per 8-way probe, no valid-mask test per way — and touches an
+	// entry only on a tag match. valid stays authoritative for the
+	// insert free-way search and the accounting walks.
 	tags  []uint64
 	valid []uint64
 	live  []uint16 // per-set valid-entry count; == ways means no invalid way
 	stats Stats
 	now   uint64 // monotonically increasing access time
+	// observesAccess is false when the policy declared (via
+	// PassiveOnAccess) that its OnAccess is a no-op, letting the lookup
+	// and prefetch paths skip the interface call.
+	observesAccess bool
 
 	// published is the Stats state as of the last PublishMetrics call
 	// (see obs.go); the difference is what the next publish emits.
 	published Stats
 }
+
+// tlbArrays is the poolable backing store of one TLB. Replay sweeps
+// build and drop a TLB per (workload, policy) pair; recycling the
+// arrays avoids re-zeroing the entry table every time — safe because
+// stale pooled entries are unreachable (see the entry doc comment).
+type tlbArrays struct {
+	entries []entry
+	tags    []uint64
+	valid   []uint64
+	live    []uint16
+}
+
+var arrayPool sync.Pool
 
 // New builds a TLB with the given geometry and policy. The policy is
 // attached (metadata sized) before New returns.
@@ -213,13 +272,47 @@ func New(cfg Config, p Policy) (*TLB, error) {
 		sets:    sets,
 		ways:    cfg.Ways,
 		setMask: uint64(sets - 1),
-		entries: make([]entry, cfg.Entries),
-		tags:    make([]uint64, cfg.Entries),
-		valid:   make([]uint64, sets),
-		live:    make([]uint16, sets),
+	}
+	if ar, _ := arrayPool.Get().(*tlbArrays); ar != nil &&
+		cap(ar.entries) >= cfg.Entries && cap(ar.tags) >= cfg.Entries &&
+		cap(ar.valid) >= sets && cap(ar.live) >= sets {
+		t.entries = ar.entries[:cfg.Entries]
+		t.tags = ar.tags[:cfg.Entries]
+		t.valid = ar.valid[:sets]
+		t.live = ar.live[:sets]
+		for i := range t.valid {
+			t.valid[i] = 0
+		}
+		for i := range t.live {
+			t.live[i] = 0
+		}
+	} else {
+		// Too small (or empty pool): allocate fresh, drop the arena.
+		t.entries = make([]entry, cfg.Entries)
+		t.tags = make([]uint64, cfg.Entries)
+		t.valid = make([]uint64, sets)
+		t.live = make([]uint16, sets)
+	}
+	for i := range t.tags {
+		t.tags[i] = tagFree
+	}
+	if _, passive := p.(PassiveOnAccess); !passive {
+		t.observesAccess = true
 	}
 	p.Attach(sets, cfg.Ways)
 	return t, nil
+}
+
+// Release returns the TLB's backing arrays to the internal pool for a
+// future New to reuse. The TLB must not be touched afterwards. Calling
+// it is optional — a TLB that simply goes out of scope just forgoes
+// the reuse — and replay drivers call it once results are extracted.
+func (t *TLB) Release() {
+	if t.entries == nil {
+		return
+	}
+	arrayPool.Put(&tlbArrays{entries: t.entries, tags: t.tags, valid: t.valid, live: t.live})
+	t.entries, t.tags, t.valid, t.live = nil, nil, nil, nil
 }
 
 // Config returns the TLB's geometry.
@@ -242,6 +335,16 @@ func (t *TLB) SetIndex(vpn uint64) uint32 { return uint32(vpn & t.setMask) }
 //
 //chirp:hotpath
 func (t *TLB) Lookup(a *Access) (ppn uint64, hit bool) {
+	a.Set = t.SetIndex(a.VPN)
+	return t.LookupIndexed(a)
+}
+
+// LookupIndexed is Lookup for callers that have already filled a.Set —
+// replay kernels driving precomputed per-stream set indices. a.Set
+// must equal SetIndex(a.VPN); nothing here rechecks it.
+//
+//chirp:hotpath
+func (t *TLB) LookupIndexed(a *Access) (ppn uint64, hit bool) {
 	t.now++
 	t.stats.Accesses++
 	if a.Instr {
@@ -249,19 +352,20 @@ func (t *TLB) Lookup(a *Access) (ppn uint64, hit bool) {
 	} else {
 		t.stats.DataAccess++
 	}
-	a.Set = t.SetIndex(a.VPN)
-	t.policy.OnAccess(a)
+	if t.observesAccess {
+		t.policy.OnAccess(a)
+	}
 
 	base := int(a.Set) * t.ways
 	// The subslice bounds the way scan so the loop body runs without
 	// per-iteration bounds checks — this is the hottest loop in a
-	// TLB-only simulation. It reads only the packed tag array and the
-	// set's valid bits; the 48-byte entry is touched on a tag match
-	// alone, so a miss probe stays within one cache line per set.
+	// TLB-only simulation. It reads only the packed tag array (invalid
+	// ways hold tagFree, so one compare per way suffices); the 48-byte
+	// entry is touched on a tag match alone, so a miss probe stays
+	// within one cache line per set.
 	tags := t.tags[base : base+t.ways]
-	live := t.valid[a.Set]
 	for w := range tags {
-		if live&(1<<uint(w)) != 0 && tags[w] == a.VPN {
+		if tags[w] == a.VPN {
 			e := &t.entries[base+w]
 			if e.asid != a.ASID {
 				continue
@@ -310,7 +414,7 @@ func (t *TLB) Insert(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
 		t.live[a.Set]++
 	}
 	e := &t.entries[base+way]
-	e.vpn, e.ppn, e.asid, e.valid = a.VPN, ppn, a.ASID, true
+	e.vpn, e.ppn, e.asid = a.VPN, ppn, a.ASID
 	e.insert, e.lastHit = t.now, t.now
 	t.tags[base+way] = a.VPN
 	t.valid[a.Set] |= 1 << uint(way)
@@ -331,10 +435,20 @@ func (t *TLB) Insert(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
 //
 //chirp:hotpath
 func (t *TLB) InsertPrefetch(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
+	a.Set = t.SetIndex(a.VPN)
+	return t.InsertPrefetchIndexed(a, ppn)
+}
+
+// InsertPrefetchIndexed is InsertPrefetch for callers that have already
+// filled a.Set (see LookupIndexed).
+//
+//chirp:hotpath
+func (t *TLB) InsertPrefetchIndexed(a *Access, ppn uint64) (evicted bool, evictedVPN uint64) {
 	t.stats.PrefetchInserts++
 	a.Prefetch = true
-	a.Set = t.SetIndex(a.VPN)
-	t.policy.OnAccess(a)
+	if t.observesAccess {
+		t.policy.OnAccess(a)
+	}
 	return t.Insert(a, ppn)
 }
 
@@ -342,39 +456,47 @@ func (t *TLB) InsertPrefetch(a *Access, ppn uint64) (evicted bool, evictedVPN ui
 // without ASID tagging), folding the interrupted lifetimes into the
 // efficiency accounting.
 func (t *TLB) Flush() {
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid {
-			t.retire(e)
-			e.valid = false
+	for s, m := range t.valid {
+		base := s * t.ways
+		for m != 0 {
+			w := bits.TrailingZeros64(m)
+			m &= m - 1
+			t.retire(&t.entries[base+w])
 		}
+		t.valid[s] = 0
+		t.live[s] = 0
 	}
-	for i := range t.live {
-		t.live[i] = 0
-		t.valid[i] = 0
+	for i := range t.tags {
+		t.tags[i] = tagFree
 	}
 }
 
 // FlushASID invalidates the entries belonging to one address space.
 func (t *TLB) FlushASID(asid uint16) {
-	for i := range t.entries {
-		e := &t.entries[i]
-		if e.valid && e.asid == asid {
+	for s := range t.valid {
+		base := s * t.ways
+		m := t.valid[s]
+		for m != 0 {
+			w := bits.TrailingZeros64(m)
+			m &= m - 1
+			e := &t.entries[base+w]
+			if e.asid != asid {
+				continue
+			}
 			t.retire(e)
-			e.valid = false
-			t.live[i/t.ways]--
-			t.valid[i/t.ways] &^= 1 << uint(i%t.ways)
+			t.tags[base+w] = tagFree
+			t.live[s]--
+			t.valid[s] &^= 1 << uint(w)
 		}
 	}
 }
 
 // retire folds a finished entry lifetime into the efficiency counters.
+// Callers guarantee e is valid (reached through the valid bitmask or
+// the full-set victim path).
 //
 //chirp:hotpath
 func (t *TLB) retire(e *entry) {
-	if !e.valid {
-		return
-	}
 	t.stats.liveTime += e.lastHit - e.insert
 	t.stats.residentTime += t.now - e.insert
 }
@@ -409,12 +531,18 @@ func (t *TLB) Now() uint64 { return t.now }
 //
 //chirp:hotpath
 func (t *TLB) Contains(vpn uint64) bool {
-	set := t.SetIndex(vpn)
+	return t.ContainsIndexed(t.SetIndex(vpn), vpn)
+}
+
+// ContainsIndexed is Contains with the set index supplied by the
+// caller (see LookupIndexed).
+//
+//chirp:hotpath
+func (t *TLB) ContainsIndexed(set uint32, vpn uint64) bool {
 	base := int(set) * t.ways
 	tags := t.tags[base : base+t.ways]
-	live := t.valid[set]
 	for w := range tags {
-		if live&(1<<uint(w)) != 0 && tags[w] == vpn {
+		if tags[w] == vpn {
 			return true
 		}
 	}
@@ -428,8 +556,8 @@ func (t *TLB) ResidentVPNs(set uint32) []uint64 {
 	base := int(set) * t.cfg.Ways
 	var out []uint64
 	for w := 0; w < t.cfg.Ways; w++ {
-		if e := &t.entries[base+w]; e.valid {
-			out = append(out, e.vpn)
+		if t.valid[set]>>uint(w)&1 == 1 {
+			out = append(out, t.entries[base+w].vpn)
 		}
 	}
 	return out

@@ -1,0 +1,110 @@
+#!/bin/sh
+# benchpair.sh — paired same-window A/B benchmarking of two git refs.
+#
+#   scripts/benchpair.sh [options] <refA> <refB>
+#
+#   -bench REGEX    benchmarks to run            (default: BenchmarkSweepPersistent)
+#   -pkg PATH       package holding them         (default: . — the module root)
+#   -rounds N       paired rounds                (default: 5)
+#   -benchtime T    go test -benchtime per round (default: 1x)
+#   -keep           keep the work directory (binaries + raw logs)
+#
+# Either ref may be the literal `work`, meaning the current working
+# tree (including uncommitted changes); anything else is resolved with
+# `git rev-parse` and built from a throwaway `git worktree`.
+#
+# Both refs are compiled to test binaries up front, then executed
+# round-robin — A, B, A, B, … — inside one tight time window, and the
+# per-benchmark statistic is the MINIMUM ns/op over all rounds. On a
+# noisy shared host this is the comparison that holds up: alternating
+# runs see the same neighbors, and the min discards interference that
+# only ever adds time. Output is one line per benchmark with both mins
+# and the A/B speedup.
+set -eu
+
+BENCH='BenchmarkSweepPersistent'
+PKG='.'
+ROUNDS=5
+BENCHTIME='1x'
+KEEP=0
+while [ $# -gt 2 ]; do
+    case "$1" in
+        -bench)     BENCH=$2; shift 2 ;;
+        -pkg)       PKG=$2; shift 2 ;;
+        -rounds)    ROUNDS=$2; shift 2 ;;
+        -benchtime) BENCHTIME=$2; shift 2 ;;
+        -keep)      KEEP=1; shift ;;
+        *) echo "benchpair: unknown option $1" >&2; exit 2 ;;
+    esac
+done
+if [ $# -ne 2 ]; then
+    echo "usage: scripts/benchpair.sh [options] <refA> <refB>" >&2
+    exit 2
+fi
+REFA=$1
+REFB=$2
+
+ROOT=$(git rev-parse --show-toplevel)
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/benchpair.XXXXXX")
+cleanup() {
+    if [ "$KEEP" = 1 ]; then
+        echo "benchpair: work dir kept at $WORK" >&2
+        return
+    fi
+    for ref in a b; do
+        [ -d "$WORK/tree-$ref" ] && git -C "$ROOT" worktree remove --force "$WORK/tree-$ref" >/dev/null 2>&1
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+# build <slot> <ref>: compile the ref's test binary to $WORK/<slot>.test.
+build() {
+    slot=$1 ref=$2
+    if [ "$ref" = work ]; then
+        src=$ROOT
+    else
+        rev=$(git -C "$ROOT" rev-parse --verify "$ref^{commit}")
+        src=$WORK/tree-$slot
+        git -C "$ROOT" worktree add --detach -q "$src" "$rev"
+    fi
+    echo "benchpair: building $ref ($slot)" >&2
+    (cd "$src/$PKG" && go test -c -o "$WORK/$slot.test" .)
+}
+
+build a "$REFA"
+build b "$REFB"
+
+# Round-robin execution: the paired window. Logs accumulate per slot.
+r=1
+while [ "$r" -le "$ROUNDS" ]; do
+    for slot in a b; do
+        echo "benchpair: round $r/$ROUNDS $slot" >&2
+        "$WORK/$slot.test" -test.run=NONE -test.bench="$BENCH" \
+            -test.benchtime="$BENCHTIME" >>"$WORK/$slot.log"
+    done
+    r=$((r + 1))
+done
+
+# Per-benchmark min ns/op for each slot, joined into one report.
+awk -v refa="$REFA" -v refb="$REFB" '
+    /^Benchmark/ && $4 == "ns/op" {
+        name = $1
+        sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+        slot = (FILENAME ~ /a\.log$/) ? "a" : "b"
+        if (!((slot, name) in min) || $3 + 0 < min[slot, name])
+            min[slot, name] = $3 + 0
+        seen[name] = 1
+    }
+    END {
+        printf "%-48s %14s %14s %9s\n", "benchmark (min ns/op of rounds)", refa, refb, "A/B"
+        for (name in seen) {
+            a = min["a", name]; b = min["b", name]
+            if (a == "" || b == "") {
+                printf "%-48s missing from one side\n", name
+                continue
+            }
+            printf "%-48s %14d %14d %8.2fx\n", name, a, b, a / b
+        }
+    }
+' "$WORK/a.log" "$WORK/b.log"
