@@ -264,7 +264,7 @@ func BenchmarkTLBLookupCHiRP(b *testing.B) {
 
 func BenchmarkTraceGeneration(b *testing.B) {
 	w := workloads.ByName("db-003")
-	src := workloads.NewGenerator(w.Program())
+	src := w.Source()
 	var rec trace.Record
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -31,6 +31,7 @@ import (
 	"github.com/chirplab/chirp/internal/tlb"
 	"github.com/chirplab/chirp/internal/trace"
 	"github.com/chirplab/chirp/internal/workloads"
+	"github.com/chirplab/chirp/internal/workloads/spec"
 )
 
 // Trace model.
@@ -146,6 +147,34 @@ func SuiteN(n int) []*Workload { return workloads.SuiteN(n) }
 
 // WorkloadByName returns the named workload, or nil.
 func WorkloadByName(name string) *Workload { return workloads.ByName(name) }
+
+// Declarative workload specs (internal/workloads/spec): versioned JSON
+// documents describing tenant/client traffic populations, compiled
+// deterministically into runnable workloads.
+type (
+	// WorkloadSpec is a parsed, validated workload specification.
+	WorkloadSpec = spec.Spec
+	// CompiledSpec holds a spec's compiled workloads plus the
+	// effective master seed and content hash that identify them.
+	CompiledSpec = spec.Compiled
+)
+
+// LoadWorkloadSpec resolves nameOrPath as a built-in registry spec
+// ("default" is the 870-workload suite) or a spec file on disk.
+func LoadWorkloadSpec(nameOrPath string) (*WorkloadSpec, error) { return spec.Resolve(nameOrPath) }
+
+// CompileWorkloadSpec compiles a spec under its own document seed.
+func CompileWorkloadSpec(s *WorkloadSpec) (*CompiledSpec, error) {
+	return spec.Compile(s, spec.Options{})
+}
+
+// CompileWorkloadSpecSeeded compiles a spec under a master seed that
+// overrides the document's (master-seed supremacy, like the CLI
+// -seed): the same (seed, spec) pair always compiles to workloads
+// with byte-identical traces.
+func CompileWorkloadSpecSeeded(s *WorkloadSpec, seed uint64) (*CompiledSpec, error) {
+	return spec.Compile(s, spec.Options{Seed: seed, SeedSet: true})
+}
 
 // Limit truncates a source after max committed instructions.
 func Limit(src Source, max uint64) Source { return trace.NewLimit(src, max) }

@@ -14,6 +14,27 @@ func TestSuiteAccess(t *testing.T) {
 	}
 }
 
+func TestWorkloadSpecFacade(t *testing.T) {
+	s, err := LoadWorkloadSpec("default")
+	if err != nil {
+		t.Fatalf("LoadWorkloadSpec(default): %v", err)
+	}
+	c, err := CompileWorkloadSpec(s)
+	if err != nil {
+		t.Fatalf("CompileWorkloadSpec: %v", err)
+	}
+	if got := len(c.Workloads()); got != SuiteSize {
+		t.Fatalf("default spec compiled %d workloads, want %d", got, SuiteSize)
+	}
+	seeded, err := CompileWorkloadSpecSeeded(s, 7)
+	if err != nil {
+		t.Fatalf("CompileWorkloadSpecSeeded: %v", err)
+	}
+	if seeded.Hash == c.Hash {
+		t.Fatal("seed override did not change the spec hash")
+	}
+}
+
 func TestPolicyRegistry(t *testing.T) {
 	for _, name := range PolicyNames() {
 		p, err := NewPolicy(name)

@@ -25,6 +25,8 @@ import (
 	"github.com/chirplab/chirp/internal/experiments"
 	"github.com/chirplab/chirp/internal/l2stream"
 	"github.com/chirplab/chirp/internal/obs"
+	"github.com/chirplab/chirp/internal/workloads"
+	"github.com/chirplab/chirp/internal/workloads/spec"
 )
 
 type runner struct {
@@ -38,6 +40,8 @@ func main() { os.Exit(run()) }
 func run() int {
 	exp := flag.String("exp", "fig7", "experiment id (or comma list, or 'all')")
 	n := flag.Int("n", 0, "suite prefix size (0 = full 870-workload suite)")
+	workloadSpec := flag.String("workload-spec", "", "workload spec (registry name or JSON file) replacing the built-in suite; -n still selects a prefix of its compiled workloads")
+	seed := flag.Uint64("seed", 0, "master seed for -workload-spec; overrides the spec document's seed")
 	instr := flag.Uint64("instr", 2_000_000, "instructions per trace")
 	penalty := flag.Uint64("penalty", 150, "L2 TLB miss penalty in cycles for timing experiments")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
@@ -51,6 +55,33 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if seedSet && *workloadSpec == "" {
+		fmt.Fprintln(os.Stderr, "chirpexp: -seed requires -workload-spec")
+		return 2
+	}
+	var suite []*workloads.Workload
+	specLabel := ""
+	if *workloadSpec != "" {
+		s, err := spec.Resolve(*workloadSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpexp: %v\n", err)
+			return 2
+		}
+		compiled, err := spec.Compile(s, spec.Options{Seed: *seed, SeedSet: seedSet})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpexp: %v\n", err)
+			return 2
+		}
+		suite = compiled.Workloads()
+		specLabel = compiled.Hash
+	}
 
 	// Ctrl-C / SIGTERM stop dispatching new simulations, drain the
 	// in-flight ones and leave the checkpoint resumable.
@@ -72,7 +103,7 @@ func run() int {
 	// run: resumed rows must be exchangeable with fresh ones. The
 	// experiment list is deliberately excluded: scopes already namespace
 	// per-experiment keys, so one file covers any subset of `-exp all`.
-	meta := fmt.Sprintf("chirpexp n=%d instr=%d penalty=%d", *n, *instr, *penalty)
+	meta := fmt.Sprintf("chirpexp n=%d instr=%d penalty=%d spec=%s", *n, *instr, *penalty, specLabel)
 
 	if *metricsAddr != "" {
 		bound, stopMetrics, err := obs.Serve(*metricsAddr, obs.Default)
@@ -86,6 +117,7 @@ func run() int {
 
 	o := experiments.Options{
 		Workloads:    *n,
+		Suite:        suite,
 		Instructions: *instr,
 		WalkPenalty:  *penalty,
 		Workers:      *workers,

@@ -6,6 +6,16 @@
 //	chirpsim -trace t.chtr -policies lru,chirp -timing -penalty 150
 //	chirpsim -workload db-000 -describe   # program model as JSON
 //	chirpsim -list
+//
+// With -workload-spec the workload population comes from a declarative
+// spec (a registry name like "default", or a JSON file; see
+// internal/workloads/spec). A spec with clients compiles to a combined
+// multi-tenant workload (the default subject) plus per-tenant views;
+// -seed overrides the document's master seed:
+//
+//	chirpsim -workload-spec examples/specs/multitenant.json -policies lru,chirp
+//	chirpsim -workload-spec spec.json -workload mix/tenant-a -seed 7
+//	chirpsim -workload-spec spec.json -list
 package main
 
 import (
@@ -28,12 +38,15 @@ import (
 	"github.com/chirplab/chirp/internal/tlb"
 	"github.com/chirplab/chirp/internal/trace"
 	"github.com/chirplab/chirp/internal/workloads"
+	"github.com/chirplab/chirp/internal/workloads/spec"
 )
 
 func main() { os.Exit(run()) }
 
 func run() int {
 	workload := flag.String("workload", "", "suite workload name (e.g. db-000)")
+	workloadSpec := flag.String("workload-spec", "", "workload spec: a built-in registry name (e.g. \"default\") or a JSON spec file; its compiled workloads replace the built-in suite")
+	seed := flag.Uint64("seed", 0, "master seed for -workload-spec; overrides the spec document's seed")
 	traceFile := flag.String("trace", "", "binary trace file (alternative to -workload)")
 	policies := flag.String("policies", "lru,random,srrip,ship,ghrp,chirp", "comma-separated policy list")
 	instr := flag.Uint64("instr", 2_000_000, "instruction budget")
@@ -53,17 +66,63 @@ func run() int {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if *describe {
-		if *workload == "" {
-			fatal("-describe requires -workload")
+	// Master-seed supremacy needs set-detection, not just a value: an
+	// explicit `-seed 0` must still override the document's seed.
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
 		}
-		w := workloads.ByName(*workload)
+	})
+	if seedSet && *workloadSpec == "" {
+		fatal("-seed requires -workload-spec (suite workload seeds are part of their identity)")
+	}
+	var compiled *spec.Compiled
+	if *workloadSpec != "" {
+		if *traceFile != "" {
+			fatal("-workload-spec and -trace are mutually exclusive")
+		}
+		s, err := spec.Resolve(*workloadSpec)
+		if err != nil {
+			fatal("%v", err)
+		}
+		compiled, err = spec.Compile(s, spec.Options{Seed: *seed, SeedSet: seedSet})
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+	// lookup resolves a workload name against the compiled spec when
+	// one is loaded, the built-in suite otherwise.
+	lookup := func(name string) *workloads.Workload {
+		if compiled != nil {
+			return compiled.ByName(name)
+		}
+		return workloads.ByName(name)
+	}
+	// resolve picks the run subject: a named workload, or the spec's
+	// combined population when -workload is omitted.
+	resolve := func() *workloads.Workload {
+		if *workload != "" {
+			w := lookup(*workload)
+			if w == nil {
+				fatal("unknown workload %q (try -list)", *workload)
+			}
+			return w
+		}
+		if compiled != nil && compiled.Combined() != nil {
+			return compiled.Combined()
+		}
+		return nil
+	}
+
+	if *describe {
+		w := resolve()
 		if w == nil {
-			fatal("unknown workload %q (try -list)", *workload)
+			fatal("-describe requires -workload (or a -workload-spec with clients)")
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(workloads.Describe(w.Program())); err != nil {
+		if err := enc.Encode(w.Describe()); err != nil {
 			fatal("%v", err)
 		}
 		return 0
@@ -71,9 +130,17 @@ func run() int {
 
 	if *list {
 		fmt.Println("policies:", strings.Join(sim.PolicyNames(), " "))
+		if compiled != nil {
+			fmt.Printf("workloads of spec %s (hash %s, seed %d):\n", compiled.Spec.Name, compiled.Hash, compiled.Seed)
+			for _, w := range compiled.Workloads() {
+				fmt.Printf("  %s (%s, %s)\n", w.Name, w.Category, w.Profile())
+			}
+			return 0
+		}
 		fmt.Println("workloads: the 870-entry suite, named <category>-<index>:")
 		fmt.Println("  categories:", strings.Join(workloads.Categories, " "))
 		fmt.Println("  e.g. spec-000 … spec-108, db-000 …, crypto-000 …")
+		fmt.Println("specs: built-in", strings.Join(spec.Names(), " "), "or a JSON file via -workload-spec")
 		return 0
 	}
 
@@ -87,20 +154,20 @@ func run() int {
 	if err != nil {
 		fatal("%v", err)
 	}
-	subject := *workload
+	w := resolve()
+	subject := *traceFile
+	specHash := ""
 	switch {
-	case *workload != "":
-		if workloads.ByName(*workload) == nil {
-			fatal("unknown workload %q (try -list)", *workload)
-		}
+	case w != nil:
+		subject = w.Name
+		specHash = w.SpecHash
 	case *traceFile != "":
-		subject = *traceFile
 	default:
-		fatal("one of -workload or -trace is required (see -list)")
+		fatal("one of -workload, -workload-spec or -trace is required (see -list)")
 	}
 	openSource := func() (trace.Source, error) {
-		if *workload != "" {
-			return trace.NewLimit(workloads.ByName(*workload).Source(), *instr), nil
+		if w != nil {
+			return trace.NewLimit(w.Source(), *instr), nil
 		}
 		fs, err := trace.OpenFile(*traceFile)
 		if err != nil {
@@ -122,8 +189,8 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "chirpsim: %v\n", err)
 		}
 	}()
-	meta := fmt.Sprintf("chirpsim workload=%s trace=%s instr=%d timing=%v penalty=%d",
-		*workload, *traceFile, *instr, *timing, *penalty)
+	meta := fmt.Sprintf("chirpsim workload=%s trace=%s spec=%s instr=%d timing=%v penalty=%d",
+		subject, *traceFile, specHash, *instr, *timing, *penalty)
 
 	if *metricsAddr != "" {
 		bound, stopMetrics, err := obs.Serve(*metricsAddr, obs.Default)
@@ -198,10 +265,11 @@ func run() int {
 			Key: engine.Key{Workload: subject, Policy: strings.Join(names, "+")},
 			Run: func(jctx context.Context) ([]policyRow, error) {
 				rs, err := sim.RunMulti(jctx, sim.RunSpec{
-					Name:   subject,
-					Open:   openSource,
-					Config: sim.DefaultTLBOnlyConfig(*instr),
-					Cache:  streams,
+					Name:     subject,
+					SpecHash: specHash,
+					Open:     openSource,
+					Config:   sim.DefaultTLBOnlyConfig(*instr),
+					Cache:    streams,
 				}, pf)
 				if err != nil {
 					return nil, err
@@ -246,10 +314,11 @@ func run() int {
 					// Capture/replay is off (negative -l2cache): the direct
 					// path runs the full trace per policy.
 					res, err := sim.Run(jctx, sim.RunSpec{
-						Name:   subject,
-						Open:   openSource,
-						Policy: f.New,
-						Config: sim.DefaultTLBOnlyConfig(*instr),
+						Name:     subject,
+						SpecHash: specHash,
+						Open:     openSource,
+						Policy:   f.New,
+						Config:   sim.DefaultTLBOnlyConfig(*instr),
 					})
 					if err != nil {
 						return policyRow{}, err

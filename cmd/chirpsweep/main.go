@@ -28,6 +28,7 @@ import (
 	"github.com/chirplab/chirp/internal/stats"
 	"github.com/chirplab/chirp/internal/tlb"
 	"github.com/chirplab/chirp/internal/workloads"
+	"github.com/chirplab/chirp/internal/workloads/spec"
 )
 
 func main() { os.Exit(run()) }
@@ -35,6 +36,8 @@ func main() { os.Exit(run()) }
 func run() int {
 	sweep := flag.String("sweep", "table", "table | history | branchhist | threshold | ways | entries | filters")
 	n := flag.Int("n", 96, "suite prefix size")
+	workloadSpec := flag.String("workload-spec", "", "workload spec (registry name or JSON file) replacing the built-in suite; -n still selects a prefix of its compiled workloads")
+	seed := flag.Uint64("seed", 0, "master seed for -workload-spec; overrides the spec document's seed")
 	instr := flag.Uint64("instr", 1_000_000, "instructions per trace")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	l2cache := flag.Int64("l2cache", 0, "L2 event-stream cache budget in MiB, shared across every sweep point (0 = 256 MiB default, negative = disable capture/replay)")
@@ -47,6 +50,36 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if seedSet && *workloadSpec == "" {
+		fmt.Fprintln(os.Stderr, "chirpsweep: -seed requires -workload-spec")
+		return 2
+	}
+	ws := workloads.SuiteN(*n)
+	specLabel := ""
+	if *workloadSpec != "" {
+		s, err := spec.Resolve(*workloadSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
+			return 2
+		}
+		compiled, err := spec.Compile(s, spec.Options{Seed: *seed, SeedSet: seedSet})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
+			return 2
+		}
+		ws = compiled.Workloads()
+		if *n > 0 && *n < len(ws) {
+			ws = ws[:*n]
+		}
+		specLabel = compiled.Hash
+	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -61,7 +94,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "chirpsweep: %v\n", err)
 		}
 	}()
-	meta := fmt.Sprintf("chirpsweep sweep=%s n=%d instr=%d", *sweep, *n, *instr)
+	meta := fmt.Sprintf("chirpsweep sweep=%s n=%d instr=%d spec=%s", *sweep, *n, *instr, specLabel)
 
 	if *metricsAddr != "" {
 		bound, stopMetrics, err := obs.Serve(*metricsAddr, obs.Default)
@@ -128,7 +161,6 @@ func run() int {
 		opts.Checkpoint = ck
 	}
 
-	ws := workloads.SuiteN(*n)
 	cfg := sim.DefaultTLBOnlyConfig(*instr)
 
 	// measure returns the average MPKI for a policy factory, with an

@@ -13,17 +13,21 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 
 	"github.com/chirplab/chirp/internal/engine"
 	"github.com/chirplab/chirp/internal/trace"
 	"github.com/chirplab/chirp/internal/workloads"
+	"github.com/chirplab/chirp/internal/workloads/spec"
 )
 
 func main() { os.Exit(run()) }
 
 func run() int {
 	workload := flag.String("workload", "", "suite workload to materialise")
+	workloadSpec := flag.String("workload-spec", "", "workload spec (registry name or JSON file); -workload then names one of its compiled workloads, -all materialises them all")
+	seed := flag.Uint64("seed", 0, "master seed for -workload-spec; overrides the spec document's seed")
 	out := flag.String("o", "", "output file (default <workload>.chtr)")
 	all := flag.Bool("all", false, "materialise a suite prefix instead of one workload")
 	n := flag.Int("n", 8, "suite prefix size with -all")
@@ -34,6 +38,30 @@ func run() int {
 	progress := flag.Duration("progress", 0, "print a progress line to stderr at this interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	if seedSet && *workloadSpec == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -seed requires -workload-spec")
+		return 2
+	}
+	var compiled *spec.Compiled
+	if *workloadSpec != "" {
+		s, err := spec.Resolve(*workloadSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			return 2
+		}
+		compiled, err = spec.Compile(s, spec.Options{Seed: *seed, SeedSet: seedSet})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			return 2
+		}
+	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
@@ -83,13 +111,19 @@ func run() int {
 			cfg.Checkpoint = ck
 		}
 		ws := workloads.SuiteN(*n)
+		if compiled != nil {
+			ws = compiled.Workloads()
+			if *n > 0 && *n < len(ws) {
+				ws = ws[:*n]
+			}
+		}
 		jobs := make([]engine.Job[traceSummary], 0, len(ws))
 		for _, w := range ws {
 			w := w
 			jobs = append(jobs, engine.Job[traceSummary]{
 				Key: engine.Key{Workload: w.Name, Policy: "tracegen"},
 				Run: func(context.Context) (traceSummary, error) {
-					return write(w, filepath.Join(*dir, w.Name+".chtr"))
+					return write(w, filepath.Join(*dir, fileName(w.Name)))
 				},
 			})
 		}
@@ -102,14 +136,19 @@ func run() int {
 			fmt.Printf("%s: %d records, %d instructions, %d bytes\n", s.Path, s.Records, s.Instructions, s.Bytes)
 		}
 	case *workload != "":
-		w := workloads.ByName(*workload)
+		var w *workloads.Workload
+		if compiled != nil {
+			w = compiled.ByName(*workload)
+		} else {
+			w = workloads.ByName(*workload)
+		}
 		if w == nil {
 			fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *workload)
 			return 1
 		}
 		path := *out
 		if path == "" {
-			path = w.Name + ".chtr"
+			path = fileName(w.Name)
 		}
 		s, err := write(w, path)
 		if err != nil {
@@ -122,6 +161,13 @@ func run() int {
 		return 2
 	}
 	return 0
+}
+
+// fileName maps a workload name to its default trace file name;
+// spec-compiled tenant views carry "/" in their names, which must not
+// become directories.
+func fileName(workload string) string {
+	return strings.ReplaceAll(workload, "/", "_") + ".chtr"
 }
 
 // traceSummary records one materialised trace; exported fields so it

@@ -142,7 +142,8 @@ func TestDeterminismFixture(t *testing.T) {
 func TestCtxFirstFixture(t *testing.T) { testFixture(t, "ctx-first", "ctxfirst/internal/sim") }
 
 func TestDeprecatedFixture(t *testing.T) {
-	testFixture(t, "no-deprecated", "deprecated/app", "deprecated/internal/sim")
+	testFixture(t, "no-deprecated", "deprecated/app", "deprecated/internal/sim",
+		"deprecated/internal/workloads", "deprecated/internal/workloads/spec")
 }
 
 func TestDirectiveHygiene(t *testing.T) { testFixture(t, "hotpath-alloc", "directive") }

@@ -16,18 +16,28 @@ import (
 type DeprecatedRule struct{}
 
 // deprecatedFunc names one banned function and its replacement.
+// allowPkgs, when non-empty, lists module-relative package scopes (per
+// inScope, subpackages included) that may still reference the function
+// — the compat shim that owns it.
 type deprecatedFunc struct {
 	pkgSuffix string // module-relative defining package ("internal/sim")
 	name      string
 	instead   string
+	allowPkgs []string
 }
 
 // deprecatedFuncs is the ban list. These wrappers exist only for
 // source compatibility with pre-engine callers and will not grow new
 // options; everything routes through the context-first entry points.
+// NewGenerator is not going away, but direct construction bypasses the
+// redesigned workloads API (Workload.Source carries composite
+// multi-tenant workloads that have no single Program), so outside the
+// workloads packages it is treated the same way.
 var deprecatedFuncs = []deprecatedFunc{
-	{"internal/sim", "RunSuiteTLBOnly", "RunSuiteTLBOnlyCtx (or sim.Run for a single cell)"},
-	{"internal/sim", "RunSuiteTiming", "RunSuiteTimingCtx"},
+	{"internal/sim", "RunSuiteTLBOnly", "RunSuiteTLBOnlyCtx (or sim.Run for a single cell)", nil},
+	{"internal/sim", "RunSuiteTiming", "RunSuiteTimingCtx", nil},
+	{"internal/workloads", "NewGenerator", "(*Workload).Source (or spec.Compile for spec-built programs)",
+		[]string{"internal/workloads"}},
 }
 
 // Name implements Rule.
@@ -58,7 +68,7 @@ func (r *DeprecatedRule) Check(m *Module) []Diagnostic {
 					if !ok || fn == def {
 						return true
 					}
-					if d := r.match(fn); d != nil {
+					if d := r.match(fn); d != nil && !inScope(p.Path, d.allowPkgs) {
 						out = append(out, Diagnostic{
 							Pos:     m.Fset.Position(id.Pos()),
 							Rule:    r.Name(),

@@ -3,13 +3,22 @@
 // see, and an allowed legacy call.
 package app
 
-import sim "github.com/chirplab/chirp/internal/analysis/testdata/src/deprecated/internal/sim"
+import (
+	sim "github.com/chirplab/chirp/internal/analysis/testdata/src/deprecated/internal/sim"
+	workloads "github.com/chirplab/chirp/internal/analysis/testdata/src/deprecated/internal/workloads"
+)
 
 // Sweep calls the banned entry points.
 func Sweep() int {
 	total := sim.RunSuiteTLBOnly(2) // want "RunSuiteTLBOnly is deprecated; use RunSuiteTLBOnlyCtx"
 	f := sim.RunSuiteTiming         // want "RunSuiteTiming is deprecated; use RunSuiteTimingCtx"
 	return total + f()
+}
+
+// Generate constructs a generator directly, outside the workloads
+// packages' allow scope.
+func Generate() *workloads.Generator {
+	return workloads.NewGenerator() // want "NewGenerator is deprecated"
 }
 
 // Pinned documents why one legacy call remains.

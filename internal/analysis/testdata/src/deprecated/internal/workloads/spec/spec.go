@@ -1,0 +1,8 @@
+// Package spec mirrors internal/workloads/spec: a subpackage of the
+// compat shim's allow scope, so its generator construction is legal.
+package spec
+
+import workloads "github.com/chirplab/chirp/internal/analysis/testdata/src/deprecated/internal/workloads"
+
+// Compile builds a generator the sanctioned way for a subpackage.
+func Compile() *workloads.Generator { return workloads.NewGenerator() }

@@ -1,0 +1,16 @@
+// Package workloads mirrors the real internal/workloads layout so the
+// no-deprecated rule's allowPkgs scoping can be exercised: the package
+// itself (and its spec subpackage) may construct generators directly;
+// everyone else goes through the Workload API.
+package workloads
+
+// Generator stands in for the trace generator.
+type Generator struct{}
+
+// NewGenerator stands in for the direct constructor the redesigned
+// API hides behind (*Workload).Source.
+func NewGenerator() *Generator { return &Generator{} }
+
+// Source is the sanctioned wrapper; in-package references to
+// NewGenerator are the compat shim and stay legal.
+func Source() *Generator { return NewGenerator() }

@@ -26,6 +26,10 @@ type Options struct {
 	// Workloads is the suite prefix size (≤ 870; 0 means the full
 	// suite).
 	Workloads int
+	// Suite, when non-nil, replaces the default 870-workload suite —
+	// e.g. the compiled population of a -workload-spec run. Workloads
+	// still selects a prefix of it.
+	Suite []*workloads.Workload
 	// Instructions bounds each trace.
 	Instructions uint64
 	// WalkPenalty is the L2 TLB miss penalty for timing experiments
@@ -96,6 +100,12 @@ func DefaultOptions() Options {
 }
 
 func (o Options) suite() []*workloads.Workload {
+	if o.Suite != nil {
+		if n := o.Workloads; n > 0 && n < len(o.Suite) {
+			return o.Suite[:n]
+		}
+		return o.Suite
+	}
 	n := o.Workloads
 	if n <= 0 || n > workloads.SuiteSize {
 		n = workloads.SuiteSize

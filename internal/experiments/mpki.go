@@ -380,7 +380,7 @@ func OptBound(o Options) (*OptResult, error) {
 		jobs = append(jobs, engine.Job[float64]{
 			Key: engine.Key{Scope: "opt", Workload: w.Name, Policy: "opt"},
 			Run: func(context.Context) (float64, error) {
-				stream, err := sim.StreamFor(o.StreamCache, w.Name, cfg, func() (trace.Source, error) {
+				stream, err := sim.StreamFor(o.StreamCache, w.Name, w.SpecHash, cfg, func() (trace.Source, error) {
 					return trace.NewLimit(w.Source(), o.Instructions), nil
 				})
 				if err != nil {

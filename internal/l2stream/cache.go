@@ -68,7 +68,14 @@ const DefaultBudget int64 = 256 << 20
 // the cache map directly.
 type Key struct {
 	Workload string
-	Config   Config
+	// Spec is the content hash of the workload spec the workload was
+	// compiled from ("" for legacy suite workloads and trace files).
+	// It enters the fingerprint, so two specs that agree on a
+	// workload's name but differ anywhere in content — one client's
+	// rate fraction included — can never alias each other's persistent
+	// captures.
+	Spec   string
+	Config Config
 }
 
 // Cache memoises captured streams under an LRU byte budget, with

@@ -82,13 +82,20 @@ func (st *store) setLimit(maxBytes int64) {
 // captures.
 func fingerprint(key Key) [sha256.Size]byte {
 	c := key.Config
-	return sha256.Sum256([]byte(fmt.Sprintf(
+	id := fmt.Sprintf(
 		"chirp-l2stream-v%d|%q|l1i:%q,%d,%d,%d|l1d:%q,%d,%d,%d|shift:%d|instr:%d|warm:%g",
 		CodecVersion, key.Workload,
 		c.L1I.Name, c.L1I.Entries, c.L1I.Ways, c.L1I.PageShift,
 		c.L1D.Name, c.L1D.Entries, c.L1D.Ways, c.L1D.PageShift,
 		c.PageShift, c.Instructions, c.WarmupFraction,
-	)))
+	)
+	// The spec hash is appended only when present so legacy (spec-less)
+	// fingerprints — and the persistent captures stored under them —
+	// stay valid.
+	if key.Spec != "" {
+		id += fmt.Sprintf("|spec:%q", key.Spec)
+	}
+	return sha256.Sum256([]byte(id))
 }
 
 // paths returns the metadata and spill-payload file paths for key.

@@ -260,6 +260,10 @@ func TestFingerprintSensitivity(t *testing.T) {
 		{Workload: "w", Config: func() Config { c := base.Config; c.WarmupFraction = 0.25; return c }()},
 		{Workload: "w", Config: func() Config { c := base.Config; c.PageShift = 13; return c }()},
 		{Workload: "w", Config: func() Config { c := base.Config; c.L1D.Entries = 32; return c }()},
+		// Two specs differing only in one client's rate fraction hash to
+		// distinct spec digests, which must key distinct captures.
+		{Workload: "w", Spec: "5a1f0b0c8d2e4f6a7b8c9d0e1f2a3b4c", Config: base.Config},
+		{Workload: "w", Spec: "5a1f0b0c8d2e4f6a7b8c9d0e1f2a3b4d", Config: base.Config},
 	}
 	seen := map[[32]byte]int{fingerprint(base): -1}
 	for i, k := range mut {

@@ -22,6 +22,11 @@ type classifier struct {
 
 func newClassifier(prog *workloads.Program) *classifier {
 	c := &classifier{}
+	if prog == nil {
+		// Composite (multi-tenant) workloads have no single program;
+		// without region bounds everything stays 4 KB-backed.
+		return c
+	}
 	for _, r := range prog.Regions {
 		if r.Pages >= HugeThresholdPages {
 			c.ranges = append(c.ranges, [2]uint64{r.BasePage, r.BasePage + r.Pages})
@@ -59,9 +64,8 @@ type branchObserver interface {
 // Run drives a workload through L1 TLBs (LRU) and the mixed-size L2
 // under p. Regions of HugeThresholdPages or more are 2 MB-backed.
 func Run(w *workloads.Workload, p Policy, instructions uint64) (Result, error) {
-	prog := w.Program()
-	cls := newClassifier(prog)
-	src := trace.NewLimit(workloads.NewGenerator(prog), instructions)
+	cls := newClassifier(w.Program())
+	src := trace.NewLimit(w.Source(), instructions)
 
 	l1i, err := tlb.New(tlb.Config{Name: "L1I", Entries: 64, Ways: 8, PageShift: 12}, policy.NewLRU())
 	if err != nil {

@@ -21,7 +21,7 @@ func persistentStreamFor(t *testing.T, dir, name string, cfg TLBOnlyConfig) (*l2
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { cache.Close() })
-	stream, err := StreamFor(cache, name, cfg, func() (trace.Source, error) {
+	stream, err := StreamFor(cache, name, "", cfg, func() (trace.Source, error) {
 		w := workloads.ByName(name)
 		if w == nil {
 			t.Fatalf("workload %s missing", name)

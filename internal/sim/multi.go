@@ -382,7 +382,7 @@ func RunMulti(ctx context.Context, spec RunSpec, factories []PolicyFactory) ([]T
 		return nil, err
 	}
 	if spec.Cache != nil {
-		stream, err := StreamFor(spec.Cache, spec.name(), spec.Config, spec.open)
+		stream, err := StreamFor(spec.Cache, spec.name(), spec.specHash(), spec.Config, spec.open)
 		if err != nil {
 			return nil, fmt.Errorf("sim: capturing %s: %w", spec.name(), err)
 		}

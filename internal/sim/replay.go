@@ -24,15 +24,18 @@ func CaptureConfig(cfg TLBOnlyConfig) l2stream.Config {
 }
 
 // CaptureKey returns the stream-cache key for a workload under cfg.
-func CaptureKey(workload string, cfg TLBOnlyConfig) l2stream.Key {
-	return l2stream.Key{Workload: workload, Config: CaptureConfig(cfg)}
+// spec is the content hash of the workload spec the workload came from
+// ("" for legacy suite workloads and trace files); it keeps captures
+// from colliding across specs that reuse a workload name.
+func CaptureKey(workload, spec string, cfg TLBOnlyConfig) l2stream.Key {
+	return l2stream.Key{Workload: workload, Spec: spec, Config: CaptureConfig(cfg)}
 }
 
 // StreamFor returns the captured stream for a workload from cache,
 // capturing it on first use. open must return a fresh bounded source
 // for the workload (it is only called when the capture actually runs).
-func StreamFor(cache *l2stream.Cache, workload string, cfg TLBOnlyConfig, open func() (trace.Source, error)) (*l2stream.Stream, error) {
-	return cache.GetOrCapture(CaptureKey(workload, cfg), func(opts l2stream.CaptureOptions) (*l2stream.Stream, error) {
+func StreamFor(cache *l2stream.Cache, workload, spec string, cfg TLBOnlyConfig, open func() (trace.Source, error)) (*l2stream.Stream, error) {
+	return cache.GetOrCapture(CaptureKey(workload, spec, cfg), func(opts l2stream.CaptureOptions) (*l2stream.Stream, error) {
 		src, err := open()
 		if err != nil {
 			return nil, err

@@ -31,6 +31,10 @@ type RunSpec struct {
 	// Name identifies the run in the stream cache. Required with Open
 	// when Cache is set; defaults to Workload.Name otherwise.
 	Name string
+	// SpecHash qualifies the stream-cache key with the content hash of
+	// the workload spec the run came from; defaults to
+	// Workload.SpecHash ("" for legacy workloads and trace files).
+	SpecHash string
 	// Policy builds the L2 replacement policy under test.
 	Policy PolicyFactory
 	// Config is the TLB-only configuration (hierarchy, instruction
@@ -55,10 +59,21 @@ func (s *RunSpec) name() string {
 	return ""
 }
 
+// specHash returns the run's spec identity for the stream-cache key.
+func (s *RunSpec) specHash() string {
+	if s.SpecHash != "" {
+		return s.SpecHash
+	}
+	if s.Workload != nil {
+		return s.Workload.SpecHash
+	}
+	return ""
+}
+
 // open returns a fresh bounded source for the spec.
 func (s *RunSpec) open() (trace.Source, error) {
 	if s.Workload != nil {
-		return trace.NewLimit(workloads.NewGenerator(s.Workload.Program()), s.Config.Instructions), nil
+		return trace.NewLimit(s.Workload.Source(), s.Config.Instructions), nil
 	}
 	return s.Open()
 }
@@ -104,7 +119,7 @@ func Run(ctx context.Context, spec RunSpec) (TLBOnlyResult, error) {
 		return TLBOnlyResult{}, err
 	}
 	if spec.Cache != nil {
-		stream, err := StreamFor(spec.Cache, spec.name(), spec.Config, spec.open)
+		stream, err := StreamFor(spec.Cache, spec.name(), spec.specHash(), spec.Config, spec.open)
 		if err != nil {
 			return TLBOnlyResult{}, fmt.Errorf("sim: capturing %s: %w", spec.name(), err)
 		}

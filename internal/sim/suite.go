@@ -101,7 +101,7 @@ func RunSuiteTLBOnlyCtx(ctx context.Context, ws []*workloads.Workload, pols []Na
 			return SuiteResult{}, fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
 		}
 		res.Policy = p.Name
-		return SuiteResult{Workload: w.Name, Category: w.Category, Profile: w.Program().Profile, TLBOnlyResult: res}, nil
+		return SuiteResult{Workload: w.Name, Category: w.Category, Profile: w.Profile(), TLBOnlyResult: res}, nil
 	})
 	return engine.Run(ctx, jobs, engine.Config{Workers: opts.Workers, Sink: opts.Sink, Checkpoint: opts.Checkpoint})
 }
@@ -157,7 +157,7 @@ func runSuiteFused(ctx context.Context, ws []*workloads.Workload, pols []NamedFa
 func runWorkloadFused(ctx context.Context, w *workloads.Workload, pols []NamedFactory, factories []PolicyFactory, cfg TLBOnlyConfig, cache *l2stream.Cache, scope string) ([]SuiteResult, error) {
 	row := func(res TLBOnlyResult, name string) SuiteResult {
 		res.Policy = name
-		return SuiteResult{Workload: w.Name, Category: w.Category, Profile: w.Program().Profile, TLBOnlyResult: res}
+		return SuiteResult{Workload: w.Name, Category: w.Category, Profile: w.Profile(), TLBOnlyResult: res}
 	}
 	rs, err := protectMulti(ctx, w, factories, cfg, cache)
 	if err == nil {
@@ -233,18 +233,17 @@ func RunSuiteTLBOnly(ws []*workloads.Workload, pols []NamedFactory, cfg TLBOnlyC
 // RunSuiteTLBOnlyCtx.
 func RunSuiteTimingCtx(ctx context.Context, ws []*workloads.Workload, pols []NamedFactory, cfg pipeline.Config, opts SuiteOptions) ([]TimingResult, error) {
 	jobs := suiteJobs(ws, pols, opts.Scope, func(_ context.Context, w *workloads.Workload, p NamedFactory) (TimingResult, error) {
-		prog := w.Program()
 		m, err := pipeline.New(cfg, p.New(), func() tlb.Policy { return policy.NewLRU() })
 		if err != nil {
 			return TimingResult{}, fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
 		}
-		src := trace.NewLimit(workloads.NewGenerator(prog), cfg.Instructions)
+		src := trace.NewLimit(w.Source(), cfg.Instructions)
 		res, err := m.Run(src)
 		if err != nil {
 			return TimingResult{}, fmt.Errorf("%s/%s: %w", w.Name, p.Name, err)
 		}
 		res.Policy = p.Name
-		return TimingResult{Workload: w.Name, Category: w.Category, Profile: prog.Profile, Result: res}, nil
+		return TimingResult{Workload: w.Name, Category: w.Category, Profile: w.Profile(), Result: res}, nil
 	})
 	return engine.Run(ctx, jobs, engine.Config{Workers: opts.Workers, Sink: opts.Sink, Checkpoint: opts.Checkpoint})
 }

@@ -1,0 +1,179 @@
+package workloads
+
+import "github.com/chirplab/chirp/internal/trace"
+
+// Builder assembles a Program from composable primitives — kernels,
+// regions, call sites, and phase mixtures — laying out disjoint code
+// and data address spaces as it goes. The category templates
+// (categories.go) and the spec compiler (internal/workloads/spec) are
+// both expressed in terms of these primitives; nothing constructs a
+// Program by hand.
+//
+// Every randomised choice a Builder makes is drawn from the seed it
+// was constructed with, in program order, so identical construction
+// sequences produce byte-identical programs.
+type Builder struct {
+	prog         *Program
+	rng          *trace.RNG
+	nextCodePage uint64
+	nextDataPage uint64
+	kernelCount  uint64
+}
+
+// NewBuilder starts a program named name in category, with every
+// subsequent parameter draw derived from seed.
+func NewBuilder(name, category string, seed uint64) *Builder {
+	rng := trace.NewRNG(seed ^ 0xabcd1234)
+	return &Builder{
+		prog: &Program{
+			Name: name, Category: category, Seed: seed,
+			RunMin: 2 + rng.Intn(2), RunMax: 4 + rng.Intn(5),
+			// Dilute to the paper's absolute MPKI range (average LRU MPKI
+			// of order 1.5); drawn per workload so the S-curve spreads.
+			SkipScale: uint32(3 + rng.Intn(4)),
+		},
+		rng: trace.NewRNG(seed),
+		// Code from 4 MB, data from 4 GB: disjoint page spaces.
+		nextCodePage: 0x400,
+		nextDataPage: 0x100000,
+	}
+}
+
+// Build returns the assembled program. Exported fields (RunMin,
+// SkipScale, per-site knobs) may still be overridden afterwards; the
+// builder's random defaults have already been drawn, so overrides do
+// not perturb any other draw.
+func (b *Builder) Build() *Program { return b.prog }
+
+// RNG exposes the builder's parameter stream for template code that
+// draws its own choices (mixture weights, skew factors).
+func (b *Builder) RNG() *trace.RNG { return b.rng }
+
+// Kernel lays out a kernel body across codePages pages with nLoads
+// load PCs, nNoise data-dependent branches and an optional store.
+func (b *Builder) Kernel(codePages, nLoads, nNoise int, hasStore bool) *Kernel {
+	if codePages < 1 {
+		codePages = 1
+	}
+	if nLoads < 1 {
+		nLoads = 1
+	}
+	base := b.nextCodePage << pageShift
+	b.nextCodePage += uint64(codePages)
+	pageOf := func(i int) uint64 { return base + uint64(i%codePages)<<pageShift }
+	// Each kernel's load PCs carry a kernel-specific pattern in PC bits
+	// [3:2] — the instruction-slot bits that distinguish inlined or
+	// unrolled copies in real code. Reuse behaviour therefore correlates
+	// with exactly the bits the paper's ADALINE study singles out
+	// (Figure 3) and that CHiRP's path history records.
+	lowTag := (b.kernelCount % 2) << 2
+	b.kernelCount++
+	// The body's PCs are spread over its pages, so executing the kernel
+	// actually fetches its whole code footprint — multi-page bodies
+	// create real instruction-side TLB pressure (the web category's
+	// front-end story).
+	k := &Kernel{
+		EntryPC:      base,
+		LoopBranchPC: pageOf(codePages-1) + 0x40,
+		RetPC:        pageOf(codePages-1) + 0x80,
+	}
+	for i := 0; i < nLoads; i++ {
+		k.LoadPCs = append(k.LoadPCs, pageOf(i)+0x100+lowTag+uint64(i)*0x48)
+	}
+	if hasStore {
+		k.StorePC = pageOf(codePages/2) + 0x200
+	}
+	for i := 0; i < nNoise; i++ {
+		k.NoisePCs = append(k.NoisePCs, pageOf(i+1)+0x300+uint64(i)*0x1c)
+	}
+	return k
+}
+
+// Region allocates pages data pages with a hot working subset.
+func (b *Builder) Region(pages, hot uint64) *Region {
+	if pages == 0 {
+		pages = 1
+	}
+	if hot > pages {
+		hot = pages
+	}
+	r := &Region{BasePage: b.nextDataPage, Pages: pages, Hot: hot}
+	// Leave a guard gap so regions never blend.
+	b.nextDataPage += pages + 16
+	b.prog.Regions = append(b.prog.Regions, r)
+	return r
+}
+
+// Site binds kernel k to region r under behaviour bv. Each site gets
+// its own driver code page so its branch PC is a distinct context
+// marker.
+func (b *Builder) Site(k *Kernel, r *Region, bv Behavior, pagesPerCall int) *Site {
+	base := b.nextCodePage << pageShift
+	b.nextCodePage++
+	s := &Site{
+		BranchPC:     base + 0x10,
+		CallPC:       base + 0x20,
+		Kernel:       k,
+		Region:       r,
+		Behavior:     bv,
+		PagesPerCall: pagesPerCall,
+		LoadsPerPage: 1,
+		SkipALU:      uint32(2 + b.rng.Intn(6)),
+	}
+	b.prog.Sites = append(b.prog.Sites, s)
+	b.prog.Kernels = appendKernelOnce(b.prog.Kernels, k)
+	return s
+}
+
+func appendKernelOnce(ks []*Kernel, k *Kernel) []*Kernel {
+	for _, e := range ks {
+		if e == k {
+			return ks
+		}
+	}
+	return append(ks, k)
+}
+
+// Phases installs weight vectors; each vector must cover every site.
+func (b *Builder) Phases(callsPerPhase int, weights ...[]uint32) {
+	b.prog.CallsPerPhase = callsPerPhase
+	for _, w := range weights {
+		b.prog.Phases = append(b.prog.Phases, Phase{Weights: w})
+	}
+}
+
+// UniformPhase returns a weight vector of 1s for every current site.
+func (b *Builder) UniformPhase() []uint32 {
+	w := make([]uint32, len(b.prog.Sites))
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Int draws a uniform int in [lo, hi].
+func (b *Builder) Int(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + b.rng.Intn(hi-lo+1)
+}
+
+// PageCount draws a page count in [lo, hi].
+func (b *Builder) PageCount(lo, hi int) uint64 { return uint64(b.Int(lo, hi)) }
+
+// Drift draws a sliding-window advance for a hot window of w pages:
+// half of the draws are stationary (0), the rest slide by roughly
+// 0.5–2%% of the window per pass. Drifting working sets are what
+// penalise indiscriminate freeze strategies (see Behavior Window).
+func (b *Builder) Drift(w uint64) uint64 {
+	if b.rng.Bool(0.5) {
+		return 0
+	}
+	lo := int(w/200) + 2
+	hi := int(w / 50)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return uint64(b.Int(lo, hi))
+}

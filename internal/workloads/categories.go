@@ -32,7 +32,7 @@ const (
 
 // drawProfile picks the workload's profile with category-specific
 // percentages (quiet%, pressure%, rest migrate).
-func (b *builder) drawProfile(quietPct, pressurePct int) profile {
+func (b *Builder) drawProfile(quietPct, pressurePct int) profile {
 	x := b.rng.Intn(100)
 	var p profile
 	switch {
@@ -48,13 +48,13 @@ func (b *builder) drawProfile(quietPct, pressurePct int) profile {
 }
 
 // hotSplit splits a total hot-page budget across n loop regions.
-func (b *builder) hotSplit(total uint64, n int) []uint64 {
+func (b *Builder) hotSplit(total uint64, n int) []uint64 {
 	out := make([]uint64, n)
 	rem := total
 	for i := 0; i < n-1; i++ {
 		share := rem / uint64(n-i)
 		jitter := share / 4
-		v := share - jitter + b.rpages(0, int(2*jitter))
+		v := share - jitter + b.PageCount(0, int(2*jitter))
 		if v >= rem {
 			v = rem / 2
 		}
@@ -69,70 +69,70 @@ func (b *builder) hotSplit(total uint64, n int) []uint64 {
 // streaming pass and a blocked pass through a shared library kernel,
 // and a skewed lookup table.
 func buildSpec(name string, seed uint64) *Program {
-	b := newBuilder(name, "spec", seed)
+	b := NewBuilder(name, "spec", seed)
 	prof := b.drawProfile(38, 38)
 
-	shared := b.kernel(1, b.rint(2, 3), b.rint(0, 1), true)
-	private := b.kernel(1, 2, 0, false)
+	shared := b.Kernel(1, b.Int(2, 3), b.Int(0, 1), true)
+	private := b.Kernel(1, 2, 0, false)
 
-	stream := b.region(b.rpages(2000, 8000), 0)
-	blockedR := b.region(b.rpages(1000, 4000), 0)
-	zipfR := b.region(b.rpages(600, 2400), 0)
+	stream := b.Region(b.PageCount(2000, 8000), 0)
+	blockedR := b.Region(b.PageCount(1000, 4000), 0)
+	zipfR := b.Region(b.PageCount(600, 2400), 0)
 
-	ss := b.site(shared, stream, Stream, b.rint(2, 3))
-	ss.SkipALU = uint32(b.rint(10, 22))
-	sbk := b.site(shared, blockedR, Batch, b.rint(2, 3))
-	sbk.ChunkPages = uint64(b.rint(16, 48))
-	sbk.Passes = uint64(b.rint(2, 3))
-	sbk.SkipALU = uint32(b.rint(10, 22))
-	sz := b.site(private, zipfR, Zipf, 1)
+	ss := b.Site(shared, stream, Stream, b.Int(2, 3))
+	ss.SkipALU = uint32(b.Int(10, 22))
+	sbk := b.Site(shared, blockedR, Batch, b.Int(2, 3))
+	sbk.ChunkPages = uint64(b.Int(16, 48))
+	sbk.Passes = uint64(b.Int(2, 3))
+	sbk.SkipALU = uint32(b.Int(10, 22))
+	sz := b.Site(private, zipfR, Zipf, 1)
 	sz.ZipfSkew = 0.7 + b.rng.Float64()*0.25
-	sz.SkipALU = uint32(b.rint(16, 30))
+	sz.SkipALU = uint32(b.Int(16, 30))
 
 	switch prof {
 	case profQuiet:
-		hs := b.hotSplit(b.rpages(180, 480), 2)
-		hotA := b.region(hs[0]*2, hs[0])
-		hotB := b.region(hs[1]*2, hs[1])
-		sl := b.site(shared, hotA, Loop, b.rint(1, 3))
-		sl.SkipALU = uint32(b.rint(18, 36))
-		sc := b.site(private, hotB, Chase, b.rint(1, 2))
-		sc.SkipALU = uint32(b.rint(18, 36))
-		b.phases(b.rint(4000, 9000),
+		hs := b.hotSplit(b.PageCount(180, 480), 2)
+		hotA := b.Region(hs[0]*2, hs[0])
+		hotB := b.Region(hs[1]*2, hs[1])
+		sl := b.Site(shared, hotA, Loop, b.Int(1, 3))
+		sl.SkipALU = uint32(b.Int(18, 36))
+		sc := b.Site(private, hotB, Chase, b.Int(1, 2))
+		sc.SkipALU = uint32(b.Int(18, 36))
+		b.Phases(b.Int(4000, 9000),
 			[]uint32{1, 1, 2, 8, 6},
 			[]uint32{2, 2, 2, 6, 5})
 	case profPressure:
-		hs := b.hotSplit(b.rpages(780, 980), 2)
-		hotA := b.region(hs[0]*4, hs[0])
-		hotB := b.region(hs[1]+hs[1]/8, hs[1])
-		sl := b.site(shared, hotA, Window, b.rint(1, 3))
-		sl.WindowDrift = b.drift(hs[0])
-		sl.SkipALU = uint32(b.rint(18, 36))
-		sc := b.site(private, hotB, Chase, b.rint(1, 2))
-		sc.SkipALU = uint32(b.rint(18, 36))
-		sw := uint32(b.rint(3, 6))
-		b.phases(b.rint(4000, 9000),
+		hs := b.hotSplit(b.PageCount(780, 980), 2)
+		hotA := b.Region(hs[0]*4, hs[0])
+		hotB := b.Region(hs[1]+hs[1]/8, hs[1])
+		sl := b.Site(shared, hotA, Window, b.Int(1, 3))
+		sl.WindowDrift = b.Drift(hs[0])
+		sl.SkipALU = uint32(b.Int(18, 36))
+		sc := b.Site(private, hotB, Chase, b.Int(1, 2))
+		sc.SkipALU = uint32(b.Int(18, 36))
+		sw := uint32(b.Int(3, 6))
+		b.Phases(b.Int(4000, 9000),
 			[]uint32{sw, 0, 1, 9, 7},
 			[]uint32{sw + 1, 0, 1, 8, 6})
 	case profMigrate:
-		h := b.rpages(440, 660)
-		hotA := b.region(h+h/8, h)
-		hotB := b.region(h+h/8, h)
-		sl := b.site(shared, hotA, Loop, b.rint(1, 3))
-		sl.SkipALU = uint32(b.rint(18, 36))
-		sc := b.site(shared, hotB, Loop, b.rint(1, 3))
-		sc.SkipALU = uint32(b.rint(18, 36))
+		h := b.PageCount(440, 660)
+		hotA := b.Region(h+h/8, h)
+		hotB := b.Region(h+h/8, h)
+		sl := b.Site(shared, hotA, Loop, b.Int(1, 3))
+		sl.SkipALU = uint32(b.Int(18, 36))
+		sc := b.Site(shared, hotB, Loop, b.Int(1, 3))
+		sc.SkipALU = uint32(b.Int(18, 36))
 		// Maintenance contexts sweep whichever region is cold (GC,
 		// checkpointing): dead traffic through the hot kernel's PCs.
-		ta := b.site(shared, hotA, Stream, 1)
-		ta.SkipALU = uint32(b.rint(14, 26))
-		tb := b.site(shared, hotB, Stream, 1)
-		tb.SkipALU = uint32(b.rint(14, 26))
-		b.phases(b.rint(3000, 9000),
+		ta := b.Site(shared, hotA, Stream, 1)
+		ta.SkipALU = uint32(b.Int(14, 26))
+		tb := b.Site(shared, hotB, Stream, 1)
+		tb.SkipALU = uint32(b.Int(14, 26))
+		b.Phases(b.Int(3000, 9000),
 			[]uint32{2, 0, 2, 9, 0, 0, 2},
 			[]uint32{2, 0, 2, 0, 9, 2, 0})
 	}
-	return b.prog
+	return b.Build()
 }
 
 // buildDB models database engines: OLTP index probes with Zipf-skewed
@@ -140,89 +140,89 @@ func buildSpec(name string, seed uint64) *Program {
 // same probe/scan kernels — the paper's motivating case where a
 // probe's reuse depends entirely on which query plan issued it.
 func buildDB(name string, seed uint64) *Program {
-	b := newBuilder(name, "db", seed)
+	b := NewBuilder(name, "db", seed)
 	prof := b.drawProfile(30, 45)
 
-	probe := b.kernel(1, b.rint(2, 4), b.rint(0, 1), false)
-	scank := b.kernel(1, 2, 0, true)
+	probe := b.Kernel(1, b.Int(2, 4), b.Int(0, 1), false)
+	scank := b.Kernel(1, 2, 0, true)
 
-	index := b.region(b.rpages(1000, 4000), 0)
-	table := b.region(b.rpages(3000, 12000), 0)
-	spill := b.region(b.rpages(1000, 4000), 0)
+	index := b.Region(b.PageCount(1000, 4000), 0)
+	table := b.Region(b.PageCount(3000, 12000), 0)
+	spill := b.Region(b.PageCount(1000, 4000), 0)
 
-	oltp := b.site(probe, index, Zipf, b.rint(1, 2))
+	oltp := b.Site(probe, index, Zipf, b.Int(1, 2))
 	oltp.ZipfSkew = 0.78 + b.rng.Float64()*0.17
-	oltp.SkipALU = uint32(b.rint(16, 30))
-	olap := b.site(probe, table, Stream, b.rint(2, 3))
-	olap.SkipALU = uint32(b.rint(10, 20))
-	join := b.site(probe, spill, Batch, b.rint(2, 3))
-	join.ChunkPages = uint64(b.rint(16, 48))
+	oltp.SkipALU = uint32(b.Int(16, 30))
+	olap := b.Site(probe, table, Stream, b.Int(2, 3))
+	olap.SkipALU = uint32(b.Int(10, 20))
+	join := b.Site(probe, spill, Batch, b.Int(2, 3))
+	join.ChunkPages = uint64(b.Int(16, 48))
 	join.Passes = 2
-	join.SkipALU = uint32(b.rint(10, 20))
+	join.SkipALU = uint32(b.Int(10, 20))
 
 	switch prof {
 	case profQuiet:
-		h := b.rpages(200, 500)
-		buffer := b.region(h+h/4, h)
-		sbuf := b.site(scank, buffer, Loop, b.rint(1, 2))
-		sbuf.SkipALU = uint32(b.rint(18, 34))
-		b.phases(b.rint(3000, 8000),
+		h := b.PageCount(200, 500)
+		buffer := b.Region(h+h/4, h)
+		sbuf := b.Site(scank, buffer, Loop, b.Int(1, 2))
+		sbuf.SkipALU = uint32(b.Int(18, 34))
+		b.Phases(b.Int(3000, 8000),
 			[]uint32{6, 1, 1, 8},
 			[]uint32{4, 2, 2, 7})
 	case profPressure:
-		h := b.rpages(780, 960)
-		buffer := b.region(h*4, h)
-		sbuf := b.site(probe, buffer, Window, b.rint(1, 3))
-		sbuf.WindowDrift = b.drift(h)
-		sbuf.SkipALU = uint32(b.rint(18, 34))
-		sw := uint32(b.rint(3, 6))
-		b.phases(b.rint(3000, 8000),
+		h := b.PageCount(780, 960)
+		buffer := b.Region(h*4, h)
+		sbuf := b.Site(probe, buffer, Window, b.Int(1, 3))
+		sbuf.WindowDrift = b.Drift(h)
+		sbuf.SkipALU = uint32(b.Int(18, 34))
+		sw := uint32(b.Int(3, 6))
+		b.Phases(b.Int(3000, 8000),
 			[]uint32{2, sw, 0, 10},
 			[]uint32{2, sw + 1, 0, 9})
 	case profMigrate:
 		// Buffer-pool turnover: the hot tables change; the checkpointer
 		// sweeps the cold one through the same probe kernel.
-		h := b.rpages(440, 640)
-		bufA := b.region(h+h/8, h)
-		bufB := b.region(h+h/8, h)
-		sa := b.site(probe, bufA, Loop, b.rint(1, 2))
-		sa.SkipALU = uint32(b.rint(18, 34))
-		sbv := b.site(probe, bufB, Loop, b.rint(1, 2))
-		sbv.SkipALU = uint32(b.rint(18, 34))
-		ta := b.site(probe, bufA, Stream, 1)
-		ta.SkipALU = uint32(b.rint(14, 26))
-		tb := b.site(probe, bufB, Stream, 1)
-		tb.SkipALU = uint32(b.rint(14, 26))
-		b.phases(b.rint(3000, 9000),
+		h := b.PageCount(440, 640)
+		bufA := b.Region(h+h/8, h)
+		bufB := b.Region(h+h/8, h)
+		sa := b.Site(probe, bufA, Loop, b.Int(1, 2))
+		sa.SkipALU = uint32(b.Int(18, 34))
+		sbv := b.Site(probe, bufB, Loop, b.Int(1, 2))
+		sbv.SkipALU = uint32(b.Int(18, 34))
+		ta := b.Site(probe, bufA, Stream, 1)
+		ta.SkipALU = uint32(b.Int(14, 26))
+		tb := b.Site(probe, bufB, Stream, 1)
+		tb.SkipALU = uint32(b.Int(14, 26))
+		b.Phases(b.Int(3000, 9000),
 			[]uint32{4, 2, 0, 9, 0, 0, 2},
 			[]uint32{4, 2, 0, 0, 9, 2, 0})
 	}
-	return b.prog
+	return b.Build()
 }
 
 // buildCrypto models crypto/compression codes: tiny hot data that the
 // L1 TLBs mostly cover, long ALU runs, near-zero L2 TLB pressure —
 // the flat low-MPKI head of the Figure 7 S-curve.
 func buildCrypto(name string, seed uint64) *Program {
-	b := newBuilder(name, "crypto", seed)
+	b := NewBuilder(name, "crypto", seed)
 	b.prog.Profile = "quiet"
 
-	k := b.kernel(1, 2, 0, true)
-	kexp := b.kernel(1, 1, 0, false)
+	k := b.Kernel(1, 2, 0, true)
+	kexp := b.Kernel(1, 1, 0, false)
 
-	state := b.region(b.rpages(24, 120), b.rpages(16, 96))
-	sched := b.region(b.rpages(200, 800), 0)
+	state := b.Region(b.PageCount(24, 120), b.PageCount(16, 96))
+	sched := b.Region(b.PageCount(200, 800), 0)
 
-	s1 := b.site(k, state, Loop, b.rint(1, 2))
-	s1.SkipALU = uint32(b.rint(24, 64)) // heavy ALU between touches
+	s1 := b.Site(k, state, Loop, b.Int(1, 2))
+	s1.SkipALU = uint32(b.Int(24, 64)) // heavy ALU between touches
 	s1.Stores = true
-	s2 := b.site(kexp, sched, Batch, 1) // compressed blocks: write then verify
-	s2.ChunkPages = uint64(b.rint(4, 16))
+	s2 := b.Site(kexp, sched, Batch, 1) // compressed blocks: write then verify
+	s2.ChunkPages = uint64(b.Int(4, 16))
 	s2.Passes = 2
-	s2.SkipALU = uint32(b.rint(16, 40))
+	s2.SkipALU = uint32(b.Int(16, 40))
 
-	b.phases(0, []uint32{14, 1})
-	return b.prog
+	b.Phases(0, []uint32{14, 1})
+	return b.Build()
 }
 
 // buildSci models scientific/stencil codes: grids swept by a shared
@@ -230,68 +230,68 @@ func buildCrypto(name string, seed uint64) *Program {
 // streams; migratory ones alternate between grids (multi-grid,
 // red-black phases); quiet ones are comfortably tiled.
 func buildSci(name string, seed uint64) *Program {
-	b := newBuilder(name, "sci", seed)
+	b := NewBuilder(name, "sci", seed)
 	prof := b.drawProfile(32, 38)
 
-	sweep := b.kernel(1, b.rint(2, 3), 0, true)
-	blocked := b.kernel(1, 2, 0, false)
+	sweep := b.Kernel(1, b.Int(2, 3), 0, true)
+	blocked := b.Kernel(1, 2, 0, false)
 
-	halo := b.region(b.rpages(1500, 6000), 0)
-	tile := b.region(b.rpages(600, 2400), 0)
-	acc := b.region(b.rpages(80, 320), b.rpages(56, 200))
+	halo := b.Region(b.PageCount(1500, 6000), 0)
+	tile := b.Region(b.PageCount(600, 2400), 0)
+	acc := b.Region(b.PageCount(80, 320), b.PageCount(56, 200))
 
-	sh := b.site(sweep, halo, Stream, b.rint(1, 3)) // boundary exchange
-	sh.SkipALU = uint32(b.rint(12, 24))
-	st := b.site(sweep, tile, Batch, b.rint(2, 3))
-	st.ChunkPages = uint64(b.rint(16, 48))
-	st.Passes = uint64(b.rint(2, 4))
-	st.SkipALU = uint32(b.rint(16, 34))
-	sb := b.site(blocked, acc, Loop, 1)
-	sb.SkipALU = uint32(b.rint(16, 34))
+	sh := b.Site(sweep, halo, Stream, b.Int(1, 3)) // boundary exchange
+	sh.SkipALU = uint32(b.Int(12, 24))
+	st := b.Site(sweep, tile, Batch, b.Int(2, 3))
+	st.ChunkPages = uint64(b.Int(16, 48))
+	st.Passes = uint64(b.Int(2, 4))
+	st.SkipALU = uint32(b.Int(16, 34))
+	sb := b.Site(blocked, acc, Loop, 1)
+	sb.SkipALU = uint32(b.Int(16, 34))
 
 	switch prof {
 	case profQuiet:
-		h := b.rpages(200, 520)
-		grid := b.region(h, h)
-		sg := b.site(sweep, grid, Loop, b.rint(2, 4))
+		h := b.PageCount(200, 520)
+		grid := b.Region(h, h)
+		sg := b.Site(sweep, grid, Loop, b.Int(2, 4))
 		sg.Stores = true
-		sg.SkipALU = uint32(b.rint(16, 32))
-		b.phases(b.rint(4000, 9000),
+		sg.SkipALU = uint32(b.Int(16, 32))
+		b.Phases(b.Int(4000, 9000),
 			[]uint32{1, 2, 2, 8},
 			[]uint32{1, 3, 2, 7})
 	case profPressure:
 		// The classic case: a grid around or above L2 reach, cyclic.
-		h := b.rpages(820, 1080)
+		h := b.PageCount(820, 1080)
 		if b.rng.Bool(0.5) {
-			h = b.rpages(1100, 1600) // beyond reach: LRU gets zero reuse
+			h = b.PageCount(1100, 1600) // beyond reach: LRU gets zero reuse
 		}
-		grid := b.region(h, h)
-		sg := b.site(sweep, grid, Loop, b.rint(2, 5))
+		grid := b.Region(h, h)
+		sg := b.Site(sweep, grid, Loop, b.Int(2, 5))
 		sg.Stores = true
-		sg.SkipALU = uint32(b.rint(16, 32))
-		sw := uint32(b.rint(3, 6))
-		b.phases(b.rint(4000, 9000),
+		sg.SkipALU = uint32(b.Int(16, 32))
+		sw := uint32(b.Int(3, 6))
+		b.Phases(b.Int(4000, 9000),
 			[]uint32{sw, 0, 2, 9},
 			[]uint32{sw, 0, 2, 8})
 	case profMigrate:
 		// Multi-grid: levels alternate.
-		h := b.rpages(420, 640)
-		gridA := b.region(h, h)
-		gridB := b.region(h, h)
-		sga := b.site(sweep, gridA, Loop, b.rint(2, 4))
+		h := b.PageCount(420, 640)
+		gridA := b.Region(h, h)
+		gridB := b.Region(h, h)
+		sga := b.Site(sweep, gridA, Loop, b.Int(2, 4))
 		sga.Stores = true
-		sga.SkipALU = uint32(b.rint(16, 32))
-		sgb := b.site(sweep, gridB, Loop, b.rint(2, 4))
-		sgb.SkipALU = uint32(b.rint(16, 32))
-		ta := b.site(sweep, gridA, Stream, 1)
-		ta.SkipALU = uint32(b.rint(14, 26))
-		tb := b.site(sweep, gridB, Stream, 1)
-		tb.SkipALU = uint32(b.rint(14, 26))
-		b.phases(b.rint(3000, 9000),
+		sga.SkipALU = uint32(b.Int(16, 32))
+		sgb := b.Site(sweep, gridB, Loop, b.Int(2, 4))
+		sgb.SkipALU = uint32(b.Int(16, 32))
+		ta := b.Site(sweep, gridA, Stream, 1)
+		ta.SkipALU = uint32(b.Int(14, 26))
+		tb := b.Site(sweep, gridB, Stream, 1)
+		tb.SkipALU = uint32(b.Int(14, 26))
+		b.Phases(b.Int(3000, 9000),
 			[]uint32{2, 0, 2, 9, 0, 0, 2},
 			[]uint32{2, 0, 2, 0, 9, 2, 0})
 	}
-	return b.prog
+	return b.Build()
 }
 
 // buildWeb models servers: a large code footprint (handler bodies over
@@ -299,45 +299,45 @@ func buildSci(name string, seed uint64) *Program {
 // TLB from the instruction side, with session/cache/log data flowing
 // through a few shared library kernels.
 func buildWeb(name string, seed uint64) *Program {
-	b := newBuilder(name, "web", seed)
+	b := NewBuilder(name, "web", seed)
 	prof := b.drawProfile(35, 40)
 
 	// Enough multi-page handler bodies that the touched code footprint
 	// exceeds the 64-entry L1 iTLB: the instruction side then
 	// contributes real traffic to the unified L2 TLB.
-	nLib := b.rint(9, 16)
+	nLib := b.Int(9, 16)
 	libs := make([]*Kernel, nLib)
 	for i := range libs {
-		libs[i] = b.kernel(b.rint(3, 8), b.rint(1, 2), b.rint(0, 1), i%2 == 0)
+		libs[i] = b.Kernel(b.Int(3, 8), b.Int(1, 2), b.Int(0, 1), i%2 == 0)
 	}
-	sessions := b.region(b.rpages(1000, 4000), 0)
-	logs := b.region(b.rpages(800, 3000), 0)
-	reqbuf := b.region(b.rpages(600, 2400), 0)
+	sessions := b.Region(b.PageCount(1000, 4000), 0)
+	logs := b.Region(b.PageCount(800, 3000), 0)
+	reqbuf := b.Region(b.PageCount(600, 2400), 0)
 
 	var cacheHot uint64
 	switch prof {
 	case profQuiet:
-		cacheHot = b.rpages(180, 480)
+		cacheHot = b.PageCount(180, 480)
 	case profPressure:
-		cacheHot = b.rpages(700, 900)
+		cacheHot = b.PageCount(700, 900)
 	case profMigrate:
-		cacheHot = b.rpages(420, 620)
+		cacheHot = b.PageCount(420, 620)
 	}
 	cacheDrift := uint64(0)
 	cachePages := cacheHot + cacheHot/8
 	if prof == profPressure {
-		cacheDrift = b.drift(cacheHot)
+		cacheDrift = b.Drift(cacheHot)
 		if cacheDrift > 0 {
 			cachePages = cacheHot * 4
 		}
 	}
-	cache := b.region(cachePages, cacheHot)
+	cache := b.Region(cachePages, cacheHot)
 	var cache2 *Region
 	if prof == profMigrate {
-		cache2 = b.region(cacheHot+cacheHot/8, cacheHot)
+		cache2 = b.Region(cacheHot+cacheHot/8, cacheHot)
 	}
 
-	nHandlers := b.rint(10, 24)
+	nHandlers := b.Int(10, 24)
 	w1 := make([]uint32, 0, nHandlers)
 	w2 := make([]uint32, 0, nHandlers)
 	for i := 0; i < nHandlers; i++ {
@@ -345,7 +345,7 @@ func buildWeb(name string, seed uint64) *Program {
 		var s *Site
 		switch i % 4 {
 		case 0:
-			s = b.site(k, sessions, Zipf, 1)
+			s = b.Site(k, sessions, Zipf, 1)
 			s.ZipfSkew = 0.7 + b.rng.Float64()*0.25
 			w1 = append(w1, uint32(3+b.rng.Intn(3)))
 			w2 = append(w2, uint32(3+b.rng.Intn(3)))
@@ -365,19 +365,19 @@ func buildWeb(name string, seed uint64) *Program {
 				}
 			}
 			if prof == profPressure && cacheDrift > 0 {
-				s = b.site(k, region, Window, 1)
+				s = b.Site(k, region, Window, 1)
 				s.WindowDrift = cacheDrift
 			} else {
-				s = b.site(k, region, Loop, 1)
+				s = b.Site(k, region, Loop, 1)
 			}
 		case 2:
-			s = b.site(k, reqbuf, Batch, 1)
-			s.ChunkPages = uint64(b.rint(8, 32))
-			s.Passes = uint64(b.rint(2, 3))
+			s = b.Site(k, reqbuf, Batch, 1)
+			s.ChunkPages = uint64(b.Int(8, 32))
+			s.Passes = uint64(b.Int(2, 3))
 			w1 = append(w1, uint32(2+b.rng.Intn(2)))
 			w2 = append(w2, uint32(2+b.rng.Intn(2)))
 		default:
-			s = b.site(k, logs, Stream, b.rint(1, 2))
+			s = b.Site(k, logs, Stream, b.Int(1, 2))
 			sw := uint32(1)
 			if prof == profPressure {
 				sw = uint32(1 + b.rng.Intn(2))
@@ -386,143 +386,143 @@ func buildWeb(name string, seed uint64) *Program {
 			w2 = append(w2, sw)
 		}
 		s.IndirectCall = true
-		s.SkipALU = uint32(b.rint(14, 30))
+		s.SkipALU = uint32(b.Int(14, 30))
 	}
-	b.phases(b.rint(4000, 10000), w1, w2)
-	return b.prog
+	b.Phases(b.Int(4000, 10000), w1, w2)
+	return b.Build()
 }
 
 // buildBigData models graph/analytics codes: pointer chases over
 // frontier working sets, uniform random property updates and edge-list
 // batches through the shared traversal kernel.
 func buildBigData(name string, seed uint64) *Program {
-	b := newBuilder(name, "bigdata", seed)
+	b := NewBuilder(name, "bigdata", seed)
 	prof := b.drawProfile(30, 42)
 
-	traverse := b.kernel(1, b.rint(2, 3), b.rint(0, 1), false)
-	update := b.kernel(1, 2, 0, true)
+	traverse := b.Kernel(1, b.Int(2, 3), b.Int(0, 1), false)
+	update := b.Kernel(1, 2, 0, true)
 
-	graph := b.region(b.rpages(3000, 10000), 0)
-	edges := b.region(b.rpages(1500, 6000), 0)
-	props := b.region(b.rpages(1000, 4000), 0)
+	graph := b.Region(b.PageCount(3000, 10000), 0)
+	edges := b.Region(b.PageCount(1500, 6000), 0)
+	props := b.Region(b.PageCount(1000, 4000), 0)
 
-	sg := b.site(traverse, graph, Gups, 1)
-	sg.SkipALU = uint32(b.rint(14, 28))
-	se := b.site(traverse, edges, Batch, b.rint(2, 3))
-	se.ChunkPages = uint64(b.rint(16, 64))
+	sg := b.Site(traverse, graph, Gups, 1)
+	sg.SkipALU = uint32(b.Int(14, 28))
+	se := b.Site(traverse, edges, Batch, b.Int(2, 3))
+	se.ChunkPages = uint64(b.Int(16, 64))
 	se.Passes = 2
-	se.SkipALU = uint32(b.rint(10, 22))
-	sp := b.site(update, props, Zipf, 1)
+	se.SkipALU = uint32(b.Int(10, 22))
+	sp := b.Site(update, props, Zipf, 1)
 	sp.ZipfSkew = 0.6 + b.rng.Float64()*0.25
 	sp.Stores = true
-	sp.SkipALU = uint32(b.rint(14, 28))
+	sp.SkipALU = uint32(b.Int(14, 28))
 
 	switch prof {
 	case profQuiet:
-		h := b.rpages(220, 500)
-		frontier := b.region(h+h/4, h)
-		sf := b.site(traverse, frontier, Chase, b.rint(1, 2))
-		sf.SkipALU = uint32(b.rint(14, 28))
-		b.phases(b.rint(3000, 8000),
+		h := b.PageCount(220, 500)
+		frontier := b.Region(h+h/4, h)
+		sf := b.Site(traverse, frontier, Chase, b.Int(1, 2))
+		sf.SkipALU = uint32(b.Int(14, 28))
+		b.Phases(b.Int(3000, 8000),
 			[]uint32{1, 2, 2, 8},
 			[]uint32{1, 3, 2, 6})
 	case profPressure:
-		h := b.rpages(780, 940)
-		frontier := b.region(h*4, h)
-		sf := b.site(traverse, frontier, Window, b.rint(1, 2))
-		sf.WindowDrift = b.drift(h)
-		sf.SkipALU = uint32(b.rint(14, 28))
-		sw := uint32(b.rint(3, 5))
-		b.phases(b.rint(3000, 8000),
+		h := b.PageCount(780, 940)
+		frontier := b.Region(h*4, h)
+		sf := b.Site(traverse, frontier, Window, b.Int(1, 2))
+		sf.WindowDrift = b.Drift(h)
+		sf.SkipALU = uint32(b.Int(14, 28))
+		sw := uint32(b.Int(3, 5))
+		b.Phases(b.Int(3000, 8000),
 			[]uint32{sw, 1, 1, 10},
 			[]uint32{sw + 1, 1, 1, 9})
 	case profMigrate:
 		// BFS-like: the frontier moves level by level.
-		h := b.rpages(420, 620)
-		frA := b.region(h+h/8, h)
-		frB := b.region(h+h/8, h)
-		sa := b.site(traverse, frA, Chase, b.rint(1, 2))
-		sa.SkipALU = uint32(b.rint(14, 28))
-		sbv := b.site(traverse, frB, Chase, b.rint(1, 2))
-		sbv.SkipALU = uint32(b.rint(14, 28))
-		ta := b.site(traverse, frA, Stream, 1)
-		ta.SkipALU = uint32(b.rint(14, 26))
-		tb := b.site(traverse, frB, Stream, 1)
-		tb.SkipALU = uint32(b.rint(14, 26))
-		b.phases(b.rint(3000, 9000),
+		h := b.PageCount(420, 620)
+		frA := b.Region(h+h/8, h)
+		frB := b.Region(h+h/8, h)
+		sa := b.Site(traverse, frA, Chase, b.Int(1, 2))
+		sa.SkipALU = uint32(b.Int(14, 28))
+		sbv := b.Site(traverse, frB, Chase, b.Int(1, 2))
+		sbv.SkipALU = uint32(b.Int(14, 28))
+		ta := b.Site(traverse, frA, Stream, 1)
+		ta.SkipALU = uint32(b.Int(14, 26))
+		tb := b.Site(traverse, frB, Stream, 1)
+		tb.SkipALU = uint32(b.Int(14, 26))
+		b.Phases(b.Int(3000, 9000),
 			[]uint32{1, 0, 1, 9, 0, 0, 2},
 			[]uint32{1, 0, 1, 0, 9, 2, 0})
 	}
-	return b.prog
+	return b.Build()
 }
 
 // buildML models training/inference loops: layer weights and
 // activations through a shared GEMM kernel, streamed minibatches, and
 // layer-by-layer phase migration.
 func buildML(name string, seed uint64) *Program {
-	b := newBuilder(name, "ml", seed)
+	b := NewBuilder(name, "ml", seed)
 	prof := b.drawProfile(32, 38)
 
-	gemm := b.kernel(1, b.rint(2, 3), 0, true)
-	act := b.kernel(1, 2, 0, false)
+	gemm := b.Kernel(1, b.Int(2, 3), 0, true)
+	act := b.Kernel(1, 2, 0, false)
 
-	inputs := b.region(b.rpages(1500, 6000), 0)
-	s4 := b.site(act, inputs, Batch, b.rint(1, 2))
-	s4.ChunkPages = uint64(b.rint(16, 64))
+	inputs := b.Region(b.PageCount(1500, 6000), 0)
+	s4 := b.Site(act, inputs, Batch, b.Int(1, 2))
+	s4.ChunkPages = uint64(b.Int(16, 64))
 	s4.Passes = 2
-	s4.SkipALU = uint32(b.rint(10, 22))
+	s4.SkipALU = uint32(b.Int(10, 22))
 
 	switch prof {
 	case profQuiet:
-		hs := b.hotSplit(b.rpages(220, 520), 2)
-		w1r := b.region(hs[0], hs[0])
-		activ := b.region(hs[1]+hs[1]/4, hs[1])
-		s1 := b.site(gemm, w1r, Loop, b.rint(2, 4))
+		hs := b.hotSplit(b.PageCount(220, 520), 2)
+		w1r := b.Region(hs[0], hs[0])
+		activ := b.Region(hs[1]+hs[1]/4, hs[1])
+		s1 := b.Site(gemm, w1r, Loop, b.Int(2, 4))
 		s1.LoadsPerPage = 2
-		s1.SkipALU = uint32(b.rint(20, 40))
-		s3 := b.site(act, activ, Loop, 1)
-		s3.SkipALU = uint32(b.rint(18, 34))
-		b.phases(b.rint(3000, 8000),
+		s1.SkipALU = uint32(b.Int(20, 40))
+		s3 := b.Site(act, activ, Loop, 1)
+		s3.SkipALU = uint32(b.Int(18, 34))
+		b.Phases(b.Int(3000, 8000),
 			[]uint32{2, 8, 3},
 			[]uint32{3, 6, 4})
 	case profPressure:
-		hs := b.hotSplit(b.rpages(760, 930), 2)
+		hs := b.hotSplit(b.PageCount(760, 930), 2)
 		if b.rng.Bool(0.3) {
 			// Large-model case: the weight matrix alone exceeds L2 reach
 			// and is swept cyclically (LRU's pathology; Random retains a
 			// useful fraction).
-			hs[0] = b.rpages(1100, 1500)
+			hs[0] = b.PageCount(1100, 1500)
 		}
-		w1r := b.region(hs[0]*4, hs[0])
-		activ := b.region(hs[1]+hs[1]/8, hs[1])
-		s1 := b.site(gemm, w1r, Window, b.rint(2, 4))
-		s1.WindowDrift = b.drift(hs[0])
+		w1r := b.Region(hs[0]*4, hs[0])
+		activ := b.Region(hs[1]+hs[1]/8, hs[1])
+		s1 := b.Site(gemm, w1r, Window, b.Int(2, 4))
+		s1.WindowDrift = b.Drift(hs[0])
 		s1.LoadsPerPage = 2
-		s1.SkipALU = uint32(b.rint(20, 40))
-		s3 := b.site(act, activ, Loop, 1)
-		s3.SkipALU = uint32(b.rint(18, 34))
-		sw := uint32(b.rint(3, 6))
-		b.phases(b.rint(3000, 8000),
+		s1.SkipALU = uint32(b.Int(20, 40))
+		s3 := b.Site(act, activ, Loop, 1)
+		s3.SkipALU = uint32(b.Int(18, 34))
+		sw := uint32(b.Int(3, 6))
+		b.Phases(b.Int(3000, 8000),
 			[]uint32{sw + 1, 9, 4},
 			[]uint32{sw - 1, 10, 4})
 	case profMigrate:
 		// Layers: weight matrices alternate with the schedule.
-		h := b.rpages(430, 630)
-		wA := b.region(h, h)
-		wB := b.region(h, h)
-		s1 := b.site(gemm, wA, Loop, b.rint(2, 4))
-		s1.SkipALU = uint32(b.rint(20, 40))
-		s2 := b.site(gemm, wB, Loop, b.rint(2, 4))
-		s2.SkipALU = uint32(b.rint(20, 40))
-		ta := b.site(gemm, wA, Stream, 1) // optimizer sweep over cold layer
-		ta.SkipALU = uint32(b.rint(14, 26))
-		tb := b.site(gemm, wB, Stream, 1)
-		tb.SkipALU = uint32(b.rint(14, 26))
-		b.phases(b.rint(3000, 9000),
+		h := b.PageCount(430, 630)
+		wA := b.Region(h, h)
+		wB := b.Region(h, h)
+		s1 := b.Site(gemm, wA, Loop, b.Int(2, 4))
+		s1.SkipALU = uint32(b.Int(20, 40))
+		s2 := b.Site(gemm, wB, Loop, b.Int(2, 4))
+		s2.SkipALU = uint32(b.Int(20, 40))
+		ta := b.Site(gemm, wA, Stream, 1) // optimizer sweep over cold layer
+		ta.SkipALU = uint32(b.Int(14, 26))
+		tb := b.Site(gemm, wB, Stream, 1)
+		tb.SkipALU = uint32(b.Int(14, 26))
+		b.Phases(b.Int(3000, 9000),
 			[]uint32{1, 9, 0, 0, 2},
 			[]uint32{1, 0, 9, 2, 0})
 	}
-	return b.prog
+	return b.Build()
 }
 
 // buildOSMix models consolidated/OS-heavy workloads: syscall-driven
@@ -530,67 +530,67 @@ func buildML(name string, seed uint64) *Program {
 // buffers, and random network-buffer updates, time-sliced across
 // phases.
 func buildOSMix(name string, seed uint64) *Program {
-	b := newBuilder(name, "osmix", seed)
+	b := NewBuilder(name, "osmix", seed)
 	prof := b.drawProfile(38, 35)
 
-	sys := b.kernel(2, 2, b.rint(0, 1), true)
-	fsk := b.kernel(1, 2, 1, false)
-	netk := b.kernel(1, b.rint(1, 2), 1, true)
+	sys := b.Kernel(2, 2, b.Int(0, 1), true)
+	fsk := b.Kernel(1, 2, 1, false)
+	netk := b.Kernel(1, b.Int(1, 2), 1, true)
 
-	pagecache := b.region(b.rpages(1500, 6000), 0)
-	anon := b.region(b.rpages(1000, 4000), 0)
+	pagecache := b.Region(b.PageCount(1500, 6000), 0)
+	anon := b.Region(b.PageCount(1000, 4000), 0)
 
-	sf := b.site(fsk, pagecache, Stream, b.rint(2, 3)) // direct I/O reads
-	sf.SkipALU = uint32(b.rint(10, 20))
-	sr := b.site(fsk, pagecache, Batch, b.rint(1, 3)) // readahead
-	sr.ChunkPages = uint64(b.rint(16, 48))
+	sf := b.Site(fsk, pagecache, Stream, b.Int(2, 3)) // direct I/O reads
+	sf.SkipALU = uint32(b.Int(10, 20))
+	sr := b.Site(fsk, pagecache, Batch, b.Int(1, 3)) // readahead
+	sr.ChunkPages = uint64(b.Int(16, 48))
 	sr.Passes = 2
-	sr.SkipALU = uint32(b.rint(10, 20))
-	sg := b.site(netk, anon, Gups, 1)
+	sr.SkipALU = uint32(b.Int(10, 20))
+	sg := b.Site(netk, anon, Gups, 1)
 	sg.Stores = true
-	sg.SkipALU = uint32(b.rint(14, 30))
+	sg.SkipALU = uint32(b.Int(14, 30))
 
 	switch prof {
 	case profQuiet:
-		hs := b.hotSplit(b.rpages(220, 520), 2)
-		heap := b.region(hs[0]+hs[0]/4, hs[0])
-		buffers := b.region(hs[1]+hs[1]/4, hs[1])
-		shp := b.site(sys, heap, Chase, b.rint(1, 2))
-		shp.SkipALU = uint32(b.rint(14, 30))
-		sb := b.site(fsk, buffers, Loop, 1)
-		sb.SkipALU = uint32(b.rint(14, 30))
-		b.phases(b.rint(2000, 6000),
+		hs := b.hotSplit(b.PageCount(220, 520), 2)
+		heap := b.Region(hs[0]+hs[0]/4, hs[0])
+		buffers := b.Region(hs[1]+hs[1]/4, hs[1])
+		shp := b.Site(sys, heap, Chase, b.Int(1, 2))
+		shp.SkipALU = uint32(b.Int(14, 30))
+		sb := b.Site(fsk, buffers, Loop, 1)
+		sb.SkipALU = uint32(b.Int(14, 30))
+		b.Phases(b.Int(2000, 6000),
 			[]uint32{1, 2, 1, 8, 5},
 			[]uint32{2, 2, 1, 6, 6})
 	case profPressure:
-		hs := b.hotSplit(b.rpages(780, 980), 2)
-		heap := b.region(hs[0]*4, hs[0])
-		buffers := b.region(hs[1]+hs[1]/8, hs[1])
-		shp := b.site(sys, heap, Window, b.rint(1, 2))
-		shp.WindowDrift = b.drift(hs[0])
-		shp.SkipALU = uint32(b.rint(14, 30))
-		sb := b.site(fsk, buffers, Loop, 1)
-		sb.SkipALU = uint32(b.rint(14, 30))
-		sw := uint32(b.rint(3, 6))
-		b.phases(b.rint(2000, 6000),
+		hs := b.hotSplit(b.PageCount(780, 980), 2)
+		heap := b.Region(hs[0]*4, hs[0])
+		buffers := b.Region(hs[1]+hs[1]/8, hs[1])
+		shp := b.Site(sys, heap, Window, b.Int(1, 2))
+		shp.WindowDrift = b.Drift(hs[0])
+		shp.SkipALU = uint32(b.Int(14, 30))
+		sb := b.Site(fsk, buffers, Loop, 1)
+		sb.SkipALU = uint32(b.Int(14, 30))
+		sw := uint32(b.Int(3, 6))
+		b.Phases(b.Int(2000, 6000),
 			[]uint32{sw, 0, 1, 9, 7},
 			[]uint32{sw + 1, 0, 1, 8, 7})
 	case profMigrate:
 		// Process switch: one heap's pages go cold, another's go hot.
-		h := b.rpages(430, 630)
-		heapA := b.region(h+h/8, h)
-		heapB := b.region(h+h/8, h)
-		sa := b.site(sys, heapA, Chase, b.rint(1, 2))
-		sa.SkipALU = uint32(b.rint(14, 30))
-		sbv := b.site(sys, heapB, Chase, b.rint(1, 2))
-		sbv.SkipALU = uint32(b.rint(14, 30))
-		ta := b.site(sys, heapA, Stream, 1) // kswapd-style cold scan
-		ta.SkipALU = uint32(b.rint(14, 26))
-		tb := b.site(sys, heapB, Stream, 1)
-		tb.SkipALU = uint32(b.rint(14, 26))
-		b.phases(b.rint(3000, 9000),
+		h := b.PageCount(430, 630)
+		heapA := b.Region(h+h/8, h)
+		heapB := b.Region(h+h/8, h)
+		sa := b.Site(sys, heapA, Chase, b.Int(1, 2))
+		sa.SkipALU = uint32(b.Int(14, 30))
+		sbv := b.Site(sys, heapB, Chase, b.Int(1, 2))
+		sbv.SkipALU = uint32(b.Int(14, 30))
+		ta := b.Site(sys, heapA, Stream, 1) // kswapd-style cold scan
+		ta.SkipALU = uint32(b.Int(14, 26))
+		tb := b.Site(sys, heapB, Stream, 1)
+		tb.SkipALU = uint32(b.Int(14, 26))
+		b.Phases(b.Int(3000, 9000),
 			[]uint32{2, 0, 1, 9, 0, 0, 2},
 			[]uint32{2, 0, 1, 0, 9, 2, 0})
 	}
-	return b.prog
+	return b.Build()
 }

@@ -2,24 +2,52 @@ package workloads
 
 import "strconv"
 
-// Description is a JSON-friendly summary of a workload's program
-// model, for inspection and documentation tooling (chirpsim
-// -describe).
+// Description is a JSON-friendly summary of a workload, for inspection
+// and documentation tooling (chirpsim -describe). Program workloads
+// fill the program-model fields; spec-compiled multi-tenant workloads
+// additionally report their tenant/client structure, derived from the
+// compiled spec rather than from Program internals.
 type Description struct {
 	Name          string       `json:"name"`
 	Category      string       `json:"category"`
 	Profile       string       `json:"profile"`
 	Seed          uint64       `json:"seed"`
-	Kernels       int          `json:"kernels"`
-	CodePages     uint64       `json:"codePages"`
-	DataPages     uint64       `json:"dataPages"`
-	DataFootprint string       `json:"dataFootprint"`
-	Regions       []RegionDesc `json:"regions"`
-	Sites         []SiteDesc   `json:"sites"`
-	Phases        int          `json:"phases"`
-	CallsPerPhase int          `json:"callsPerPhase"`
-	RunLength     [2]int       `json:"runLength"`
-	SkipScale     uint32       `json:"skipScale"`
+	SpecHash      string       `json:"specHash,omitempty"`
+	Kernels       int          `json:"kernels,omitempty"`
+	CodePages     uint64       `json:"codePages,omitempty"`
+	DataPages     uint64       `json:"dataPages,omitempty"`
+	DataFootprint string       `json:"dataFootprint,omitempty"`
+	Regions       []RegionDesc `json:"regions,omitempty"`
+	Sites         []SiteDesc   `json:"sites,omitempty"`
+	Phases        int          `json:"phases,omitempty"`
+	CallsPerPhase int          `json:"callsPerPhase,omitempty"`
+	RunLength     [2]int       `json:"runLength,omitempty"`
+	SkipScale     uint32       `json:"skipScale,omitempty"`
+	// Tenants describes a multi-tenant composite's population; empty
+	// for single-program workloads.
+	Tenants []TenantDesc `json:"tenants,omitempty"`
+}
+
+// TenantDesc groups the clients of one tenant in a multi-tenant
+// workload description.
+type TenantDesc struct {
+	Tenant  string       `json:"tenant"`
+	Clients []ClientDesc `json:"clients"`
+}
+
+// ClientDesc summarises one spec client: its traffic share, lifecycle
+// window, and the footprint of its compiled program.
+type ClientDesc struct {
+	ID            string  `json:"id"`
+	RateFraction  float64 `json:"rateFraction"`
+	Template      string  `json:"template,omitempty"`
+	Lifecycle     string  `json:"lifecycle,omitempty"`
+	Seed          uint64  `json:"seed"`
+	Sites         int     `json:"sites"`
+	Phases        int     `json:"phases"`
+	CodePages     uint64  `json:"codePages"`
+	DataPages     uint64  `json:"dataPages"`
+	DataFootprint string  `json:"dataFootprint"`
 }
 
 // RegionDesc summarises one data region.
@@ -42,8 +70,13 @@ type SiteDesc struct {
 	Weights      []uint32 `json:"phaseWeights"`
 }
 
-// Describe summarises prog.
+// Describe summarises prog. Footprints come from Program.Extents, so
+// the report stays truthful for spec-built and rebased programs whose
+// layout differs from the builder's default bases.
 func Describe(prog *Program) Description {
+	if prog == nil {
+		return Description{}
+	}
 	d := Description{
 		Name:          prog.Name,
 		Category:      prog.Category,
@@ -64,14 +97,7 @@ func Describe(prog *Program) Description {
 	}
 	d.DataPages = dataPages
 	d.DataFootprint = formatPages(dataPages)
-	var maxCode uint64
-	for _, k := range prog.Kernels {
-		for _, pc := range k.LoadPCs {
-			if page := pc >> pageShift; page > maxCode {
-				maxCode = page
-			}
-		}
-	}
+	_, d.CodePages, _, _ = prog.Extents()
 	for i, s := range prog.Sites {
 		sd := SiteDesc{
 			Behavior:     s.Behavior.String(),
@@ -87,12 +113,6 @@ func Describe(prog *Program) Description {
 			sd.Weights = append(sd.Weights, ph.Weights[i])
 		}
 		d.Sites = append(d.Sites, sd)
-		if page := s.CallPC >> pageShift; page > maxCode {
-			maxCode = page
-		}
-	}
-	if maxCode >= 0x400 {
-		d.CodePages = maxCode - 0x400 + 1
 	}
 	return d
 }
@@ -113,3 +133,7 @@ func formatPages(pages uint64) string {
 func itoaF(f float64) string {
 	return strconv.FormatFloat(f, 'f', 1, 64)
 }
+
+// FormatPages renders a page count as a human size (4 KB pages) — the
+// exported form the spec compiler's descriptions use.
+func FormatPages(pages uint64) string { return formatPages(pages) }

@@ -85,6 +85,28 @@ func (b Behavior) String() string {
 	return fmt.Sprintf("behavior(%d)", uint8(b))
 }
 
+// ParseBehavior maps a behaviour name (as produced by
+// Behavior.String) back to its value; ok is false for unknown names.
+func ParseBehavior(s string) (b Behavior, ok bool) {
+	switch s {
+	case "stream":
+		return Stream, true
+	case "loop":
+		return Loop, true
+	case "chase":
+		return Chase, true
+	case "zipf":
+		return Zipf, true
+	case "gups":
+		return Gups, true
+	case "batch":
+		return Batch, true
+	case "window":
+		return Window, true
+	}
+	return 0, false
+}
+
 // pageShift is the 4 KB page geometry every workload uses (§V: the
 // paper's study is for the standard 4 KB page size).
 const pageShift = 12
@@ -181,6 +203,106 @@ type Program struct {
 	// changing the TLB access stream (policy comparisons are
 	// unaffected). Zero means 1.
 	SkipScale uint32
+}
+
+// eachPC calls fn on every instruction PC the program can emit.
+func (p *Program) eachPC(fn func(pc uint64)) {
+	for _, k := range p.Kernels {
+		fn(k.EntryPC)
+		for _, pc := range k.LoadPCs {
+			fn(pc)
+		}
+		if k.StorePC != 0 {
+			fn(k.StorePC)
+		}
+		fn(k.LoopBranchPC)
+		for _, pc := range k.NoisePCs {
+			fn(pc)
+		}
+		fn(k.RetPC)
+	}
+	for _, s := range p.Sites {
+		fn(s.BranchPC)
+		fn(s.CallPC)
+	}
+}
+
+// Extents reports the code and data page windows the program actually
+// occupies: the smallest page-aligned spans covering every instruction
+// PC and every data region. The spans are measured from the program
+// itself — not assumed from the builder's default layout — so they
+// stay truthful for hand-assembled, spec-compiled, and rebased
+// programs alike.
+func (p *Program) Extents() (codeBase, codePages, dataBase, dataPages uint64) {
+	first := true
+	var lo, hi uint64
+	p.eachPC(func(pc uint64) {
+		page := pc >> pageShift
+		if first {
+			lo, hi = page, page
+			first = false
+			return
+		}
+		if page < lo {
+			lo = page
+		}
+		if page > hi {
+			hi = page
+		}
+	})
+	if !first {
+		codeBase, codePages = lo, hi-lo+1
+	}
+	first = true
+	for _, r := range p.Regions {
+		end := r.BasePage + r.Pages
+		if first {
+			lo, hi = r.BasePage, end
+			first = false
+			continue
+		}
+		if r.BasePage < lo {
+			lo = r.BasePage
+		}
+		if end > hi {
+			hi = end
+		}
+	}
+	if !first {
+		dataBase, dataPages = lo, hi-lo
+	}
+	return codeBase, codePages, dataBase, dataPages
+}
+
+// Rebase shifts the program's code PCs by codeDelta pages and its data
+// regions by dataDelta pages. The spec compiler rebases each client's
+// program into a disjoint slice of the shared address space so tenants
+// never alias pages. Rebase must run before the first Reset of a
+// Generator over the program (region permutations are seeded from the
+// rebased addresses).
+func (p *Program) Rebase(codeDelta, dataDelta uint64) {
+	cb := codeDelta << pageShift
+	for _, k := range p.Kernels {
+		k.EntryPC += cb
+		for i := range k.LoadPCs {
+			k.LoadPCs[i] += cb
+		}
+		if k.StorePC != 0 {
+			k.StorePC += cb
+		}
+		k.LoopBranchPC += cb
+		for i := range k.NoisePCs {
+			k.NoisePCs[i] += cb
+		}
+		k.RetPC += cb
+	}
+	for _, s := range p.Sites {
+		s.BranchPC += cb
+		s.CallPC += cb
+	}
+	for _, r := range p.Regions {
+		r.BasePage += dataDelta
+	}
 }
 
 // Generator streams a Program as trace records. It implements
@@ -293,6 +415,19 @@ func (g *Generator) NextBlock(buf []trace.Record) int {
 		n += c
 	}
 	return n
+}
+
+// EmitCall discards any queued records and appends exactly one
+// complete kernel invocation to dst, returning the extended slice. It
+// is the call-granular interface the multi-tenant scheduler drives —
+// one invocation per scheduling turn — and must not be interleaved
+// with Next/NextBlock on the same Generator.
+func (g *Generator) EmitCall(dst []trace.Record) []trace.Record {
+	g.queue = g.queue[:0]
+	g.qpos = 0
+	g.emitCall()
+	g.qpos = len(g.queue)
+	return append(dst, g.queue...)
 }
 
 // pickSite draws a site from the current phase's weights.

@@ -1,0 +1,373 @@
+package spec
+
+import (
+	"testing"
+
+	"github.com/chirplab/chirp/internal/trace"
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+// collect reads exactly n records from src.
+func collect(t *testing.T, src trace.Source, n int) []trace.Record {
+	t.Helper()
+	out := make([]trace.Record, n)
+	for i := range out {
+		if !src.Next(&out[i]) {
+			t.Fatalf("source ended after %d of %d records", i, n)
+		}
+	}
+	return out
+}
+
+// sameRecords compares two record slices and reports the first
+// divergence.
+func sameRecords(t *testing.T, label string, a, b []trace.Record) bool {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Errorf("%s: %d vs %d records", label, len(a), len(b))
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("%s: record %d diverges: %+v vs %+v", label, i, a[i], b[i])
+			return false
+		}
+	}
+	return true
+}
+
+// TestDefaultSpecMatchesLegacySuite is the golden gate of the API
+// redesign: compiling the checked-in default spec with no master seed
+// must reproduce the legacy Suite() constructors exactly — same names,
+// categories, and seeds for all 870 workloads, and byte-identical
+// traces.
+func TestDefaultSpecMatchesLegacySuite(t *testing.T) {
+	c, err := Compile(Default(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := workloads.Suite()
+	got := c.Suite()
+	if len(got) != len(legacy) {
+		t.Fatalf("default spec compiles to %d workloads, legacy suite has %d", len(got), len(legacy))
+	}
+	if len(c.Workloads()) != len(got) {
+		t.Errorf("suite-only spec has %d extra workloads", len(c.Workloads())-len(got))
+	}
+	for i := range legacy {
+		if got[i].Name != legacy[i].Name || got[i].Category != legacy[i].Category {
+			t.Fatalf("workload %d: got %s/%s, legacy %s/%s",
+				i, got[i].Name, got[i].Category, legacy[i].Name, legacy[i].Category)
+		}
+		if got[i].Seed != legacy[i].Seed {
+			t.Fatalf("workload %s: seed %#x, legacy %#x", got[i].Name, got[i].Seed, legacy[i].Seed)
+		}
+		if got[i].SpecHash != c.Hash {
+			t.Errorf("workload %s: SpecHash %q, want compiled hash %q", got[i].Name, got[i].SpecHash, c.Hash)
+		}
+	}
+	// Byte-identity spot checks across the category interleave.
+	for _, i := range []int{0, 1, 433, 869} {
+		a := collect(t, got[i].Source(), 512)
+		b := collect(t, legacy[i].Source(), 512)
+		if !sameRecords(t, got[i].Name, a, b) {
+			break
+		}
+	}
+}
+
+// TestSeedSupremacy pins the master-seed rules: an unset CLI seed
+// defers to the document, a CLI seed equal to the document's changes
+// nothing, and a different CLI seed overrides the document — re-keying
+// the capture hash and the trace.
+func TestSeedSupremacy(t *testing.T) {
+	doc := `{
+	  "version": 1, "name": "sup", "seed": 123,
+	  "clients": [
+	    {"id": "a", "rateFraction": 0.6, "template": "db"},
+	    {"id": "b", "rateFraction": 0.4, "template": "sci"}
+	  ]
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unset, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Compile(s, Options{Seed: 123, SeedSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := Compile(s, Options{Seed: 999, SeedSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unset.Seed != 123 {
+		t.Errorf("unset CLI seed: effective seed %d, want the document's 123", unset.Seed)
+	}
+	if same.Hash != unset.Hash {
+		t.Errorf("CLI seed equal to document seed changed the hash: %s vs %s", same.Hash, unset.Hash)
+	}
+	if over.Seed != 999 {
+		t.Errorf("CLI seed did not win over the document: effective seed %d", over.Seed)
+	}
+	if over.Hash == unset.Hash {
+		t.Error("overriding the seed left the capture hash unchanged")
+	}
+	a := collect(t, unset.Combined().Source(), 4096)
+	b := collect(t, same.Combined().Source(), 4096)
+	sameRecords(t, "document seed vs equal CLI seed", a, b)
+	c := collect(t, over.Combined().Source(), 4096)
+	diverged := false
+	for i := range a {
+		if a[i] != c[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("seed override produced a byte-identical trace")
+	}
+}
+
+// TestCompileDeterminism: the same (spec, seed) pair yields
+// byte-identical record streams across independent compilations,
+// across fresh Source calls, after Reset, and through the block read
+// path.
+func TestCompileDeterminism(t *testing.T) {
+	s, err := Parse([]byte(minimalClients))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := Compile(s, Options{Seed: 7, SeedSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Compile(s, Options{Seed: 7, SeedSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8192
+	src := c1.Combined().Source()
+	a := collect(t, src, n)
+	sameRecords(t, "independent compile", a, collect(t, c2.Combined().Source(), n))
+	sameRecords(t, "fresh source", a, collect(t, c1.Combined().Source(), n))
+	src.Reset()
+	sameRecords(t, "after Reset", a, collect(t, src, n))
+
+	bs, ok := c1.Combined().Source().(trace.BlockSource)
+	if !ok {
+		t.Fatal("composite source does not implement trace.BlockSource")
+	}
+	blk := make([]trace.Record, n)
+	for got := 0; got < n; {
+		got += bs.NextBlock(blk[got:])
+	}
+	sameRecords(t, "block read path", a, blk)
+}
+
+// TestTenantViews: a multi-tenant spec compiles to one combined
+// workload plus per-tenant views, with truthful descriptions.
+func TestTenantViews(t *testing.T) {
+	doc := `{
+	  "version": 1, "name": "mt",
+	  "clients": [
+	    {"id": "web-a", "tenant": "acme", "rateFraction": 0.5, "template": "web"},
+	    {"id": "db-a", "tenant": "acme", "rateFraction": 0.2, "template": "db"},
+	    {"id": "ml-b", "tenant": "bravo", "rateFraction": 0.3, "template": "ml"}
+	  ]
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb := c.Combined()
+	if comb == nil || comb.Name != "mt" {
+		t.Fatalf("combined workload missing or misnamed: %+v", comb)
+	}
+	if comb.Profile() != "multi-tenant" {
+		t.Errorf("combined profile %q, want multi-tenant", comb.Profile())
+	}
+	if comb.Program() != nil {
+		t.Error("composite workload leaked a Program")
+	}
+	views := c.Tenants()
+	if len(views) != 2 || views[0].Name != "mt/acme" || views[1].Name != "mt/bravo" {
+		t.Fatalf("tenant views: %v", names(views))
+	}
+	if got := c.ByName("mt/bravo"); got != views[1] {
+		t.Error("ByName did not find the tenant view")
+	}
+	if got := len(c.Workloads()); got != 3 {
+		t.Errorf("Workloads() has %d entries, want combined + 2 views", got)
+	}
+
+	d := comb.Describe()
+	if d.SpecHash != c.Hash {
+		t.Errorf("description SpecHash %q, want %q", d.SpecHash, c.Hash)
+	}
+	if len(d.Tenants) != 2 {
+		t.Fatalf("description has %d tenants, want 2", len(d.Tenants))
+	}
+	acme := d.Tenants[0]
+	if acme.Tenant != "acme" || len(acme.Clients) != 2 {
+		t.Fatalf("first tenant desc: %+v", acme)
+	}
+	if acme.Clients[0].ID != "web-a" || acme.Clients[0].RateFraction != 0.5 {
+		t.Errorf("client desc: %+v", acme.Clients[0])
+	}
+	if acme.Clients[0].Sites == 0 || acme.Clients[0].DataPages == 0 {
+		t.Errorf("client desc footprint is empty: %+v", acme.Clients[0])
+	}
+	vd := views[0].Describe()
+	if len(vd.Tenants) != 1 || vd.Tenants[0].Tenant != "acme" {
+		t.Errorf("tenant view describes %+v", vd.Tenants)
+	}
+
+	// A single-tenant population gets no redundant views.
+	solo, err := Parse([]byte(`{
+	  "version": 1, "name": "solo",
+	  "clients": [
+	    {"id": "a", "tenant": "only", "rateFraction": 0.5, "template": "db"},
+	    {"id": "b", "tenant": "only", "rateFraction": 0.5, "template": "web"}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := Compile(solo, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Tenants()) != 0 {
+		t.Errorf("single-tenant population produced %d tenant views, want none", len(cs.Tenants()))
+	}
+	if cs.Combined().Profile() != "single-tenant" {
+		t.Errorf("single-tenant profile %q", cs.Combined().Profile())
+	}
+}
+
+func names(ws []*workloads.Workload) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// TestClientAddressDisjoint: every client's rebased program must
+// occupy code and data pages disjoint from every other client's, so
+// tenants never alias TLB entries.
+func TestClientAddressDisjoint(t *testing.T) {
+	doc := `{
+	  "version": 1, "name": "iso",
+	  "clients": [
+	    {"id": "a", "rateFraction": 0.4, "template": "bigdata"},
+	    {"id": "b", "rateFraction": 0.3, "template": "bigdata"},
+	    {"id": "c", "rateFraction": 0.3, "template": "crypto"}
+	  ]
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := planClients(c.Spec, c.Seed)
+	type span struct{ base, pages uint64 }
+	var code, data []span
+	for _, p := range plans {
+		cb, cp, db, dp := p.build().Extents()
+		code = append(code, span{cb, cp})
+		data = append(data, span{db, dp})
+	}
+	overlap := func(a, b span) bool { return a.base < b.base+b.pages && b.base < a.base+a.pages }
+	for i := range plans {
+		for j := i + 1; j < len(plans); j++ {
+			if overlap(code[i], code[j]) {
+				t.Errorf("clients %s and %s share code pages: %+v vs %+v",
+					plans[i].client.ID, plans[j].client.ID, code[i], code[j])
+			}
+			if overlap(data[i], data[j]) {
+				t.Errorf("clients %s and %s share data pages: %+v vs %+v",
+					plans[i].client.ID, plans[j].client.ID, data[i], data[j])
+			}
+		}
+	}
+	// Same template twice with distinct derived seeds: the two bigdata
+	// clients must not be clones.
+	if plans[0].seed == plans[1].seed {
+		t.Error("two clients of the same template derived the same seed")
+	}
+}
+
+// TestWindowLifecycleSchedule: a windowed client contributes records
+// inside its window and none after the window (plus the residual run)
+// has passed.
+func TestWindowLifecycleSchedule(t *testing.T) {
+	doc := `{
+	  "version": 1, "name": "win",
+	  "clients": [
+	    {"id": "steady", "rateFraction": 0.5, "template": "db"},
+	    {"id": "guest", "rateFraction": 0.5, "template": "crypto",
+	     "lifecycle": {"pattern": "window", "start": 0, "end": 64}}
+	  ]
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans := planClients(c.Spec, c.Seed)
+	gb, gp, _, _ := plans[1].build().Extents()
+	inGuest := func(r trace.Record) bool { page := r.PC >> 12; return page >= gb && page < gb+gp }
+
+	clients := make([]schedClient, len(plans))
+	for i := range plans {
+		clients[i] = schedClient{
+			gen:  workloads.NewGenerator(plans[i].build()),
+			base: rateBase(plans[i].client.RateFraction),
+			life: plans[i].life,
+		}
+	}
+	sched := newScheduler(clients, c.Spec.Interleave.RunMin, c.Spec.Interleave.RunMax,
+		workloads.MixSeeds(c.Seed, workloads.HashString("scheduler|win")))
+
+	guestSeen := false
+	for sched.calls < 64 {
+		sched.fill()
+		for _, r := range sched.buf {
+			if inGuest(r) {
+				guestSeen = true
+			}
+		}
+	}
+	if !guestSeen {
+		t.Error("windowed client emitted nothing inside its window")
+	}
+	// A run drawn just before the window closed may still be draining;
+	// once it cannot be (runMax calls later), the guest must be gone.
+	for sched.calls < 64+uint64(sched.runMax) {
+		sched.fill()
+	}
+	for i := 0; i < 2048; i++ {
+		sched.fill()
+		for _, r := range sched.buf {
+			if inGuest(r) {
+				t.Fatalf("windowed client still scheduled at call %d, %d past its window end",
+					sched.calls, sched.calls-64)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package spec
+
+import "fmt"
+
+// activityScale is the fixed-point unit for lifecycle activity: an
+// activity of activityScale means the client runs at its full rate
+// fraction. Integer fixed-point keeps the scheduler's weight
+// arithmetic exactly reproducible (the determinism rule bans nothing
+// here, but floating-point accumulation would make the byte-identity
+// guarantee depend on evaluation order).
+const activityScale = 1024
+
+// lifecycle is the compiled, integer form of a Lifecycle.
+type lifecycle struct {
+	pattern                         string
+	period, start, end, width, ramp uint64
+	floor, gain                     uint64 // activityScale fixed-point
+}
+
+// compileLifecycle lowers a validated Lifecycle (nil means steady).
+func compileLifecycle(l *Lifecycle) lifecycle {
+	if l == nil {
+		return lifecycle{pattern: PatternSteady}
+	}
+	return lifecycle{
+		pattern: l.Pattern,
+		period:  l.Period,
+		start:   l.Start,
+		end:     l.End,
+		width:   l.Width,
+		ramp:    l.Ramp,
+		floor:   uint64(l.Floor*activityScale + 0.5),
+		gain:    uint64(l.Gain*activityScale + 0.5),
+	}
+}
+
+// activity returns the client's traffic multiplier at the given
+// scheduler call count, in activityScale fixed-point units.
+func (l lifecycle) activity(call uint64) uint64 {
+	switch l.pattern {
+	case PatternDiurnal:
+		// Triangle wave between floor and full rate.
+		ph := call % l.period
+		half := l.period / 2
+		if half == 0 {
+			return activityScale
+		}
+		var tri uint64 // 0..activityScale over the cycle
+		if ph < half {
+			tri = ph * activityScale / half
+		} else {
+			tri = (l.period - ph) * activityScale / (l.period - half)
+		}
+		return l.floor + (activityScale-l.floor)*tri/activityScale
+	case PatternSpike:
+		if call >= l.start && (call-l.start)%l.period < l.width {
+			return l.gain
+		}
+		return activityScale
+	case PatternDrain:
+		if call >= l.end {
+			return 0
+		}
+		if call+l.ramp >= l.end {
+			return (l.end - call) * activityScale / l.ramp
+		}
+		return activityScale
+	case PatternWindow:
+		if call >= l.start && call < l.end {
+			return activityScale
+		}
+		return 0
+	}
+	return activityScale
+}
+
+// describe renders the lifecycle for workload descriptions.
+func describeLifecycle(l *Lifecycle) string {
+	if l == nil {
+		return PatternSteady
+	}
+	switch l.Pattern {
+	case PatternDiurnal:
+		return fmt.Sprintf("diurnal(period=%d, floor=%g)", l.Period, l.Floor)
+	case PatternSpike:
+		return fmt.Sprintf("spike(period=%d, width=%d, gain=%g, start=%d)", l.Period, l.Width, l.Gain, l.Start)
+	case PatternDrain:
+		return fmt.Sprintf("drain(end=%d, ramp=%d)", l.End, l.Ramp)
+	case PatternWindow:
+		return fmt.Sprintf("window(start=%d, end=%d)", l.Start, l.End)
+	}
+	return l.Pattern
+}

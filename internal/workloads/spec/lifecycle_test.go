@@ -1,0 +1,54 @@
+package spec
+
+import "testing"
+
+// TestLifecycleActivity pins the fixed-point activity curves at their
+// characteristic points; the scheduler's weighted pick (and therefore
+// trace byte-identity) depends on these exact values.
+func TestLifecycleActivity(t *testing.T) {
+	cases := []struct {
+		name string
+		l    *Lifecycle
+		at   []uint64
+		want []uint64
+	}{
+		{"nil steady", nil,
+			[]uint64{0, 7, 1e6}, []uint64{activityScale, activityScale, activityScale}},
+		{"diurnal full swing", &Lifecycle{Pattern: PatternDiurnal, Period: 100},
+			[]uint64{0, 25, 50, 75, 100},
+			[]uint64{0, activityScale / 2, activityScale, activityScale / 2, 0}},
+		{"diurnal floored", &Lifecycle{Pattern: PatternDiurnal, Period: 100, Floor: 0.5},
+			[]uint64{0, 50}, []uint64{activityScale / 2, activityScale}},
+		{"spike", &Lifecycle{Pattern: PatternSpike, Period: 100, Width: 10, Gain: 4, Start: 20},
+			[]uint64{0, 19, 20, 29, 30, 120, 130},
+			[]uint64{activityScale, activityScale, 4 * activityScale, 4 * activityScale,
+				activityScale, 4 * activityScale, activityScale}},
+		{"drain", &Lifecycle{Pattern: PatternDrain, End: 100, Ramp: 10},
+			[]uint64{0, 89, 95, 99, 100, 200},
+			[]uint64{activityScale, activityScale, activityScale / 2,
+				activityScale / 10, 0, 0}},
+		{"window", &Lifecycle{Pattern: PatternWindow, Start: 10, End: 20},
+			[]uint64{0, 9, 10, 19, 20, 100},
+			[]uint64{0, 0, activityScale, activityScale, 0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := compileLifecycle(tc.l)
+			for i, call := range tc.at {
+				if got := l.activity(call); got != tc.want[i] {
+					t.Errorf("activity(%d) = %d, want %d", call, got, tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestDescribeLifecycle(t *testing.T) {
+	if got := describeLifecycle(nil); got != "steady" {
+		t.Errorf("nil lifecycle described as %q", got)
+	}
+	l := &Lifecycle{Pattern: PatternDrain, End: 100, Ramp: 10}
+	if got, want := describeLifecycle(l), "drain(end=100, ramp=10)"; got != want {
+		t.Errorf("describeLifecycle = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,49 @@
+package spec
+
+import (
+	_ "embed"
+	"fmt"
+)
+
+// default.json is the checked-in spec registry entry behind the legacy
+// workloads API: the paper's 870-workload suite expressed as a spec.
+// Compiling it with an unset master seed reproduces Suite()
+// byte-identically (pinned by TestDefaultSpecMatchesLegacySuite).
+//
+//go:embed default.json
+var defaultJSON []byte
+
+// DefaultName is the registry name of the default suite spec.
+const DefaultName = "default"
+
+// Names lists the built-in registry specs.
+func Names() []string { return []string{DefaultName} }
+
+// ByName returns a fresh parse of the named built-in spec; ok is false
+// for unknown names.
+func ByName(name string) (*Spec, bool) {
+	if name != DefaultName {
+		return nil, false
+	}
+	return Default(), true
+}
+
+// Resolve returns the built-in registry spec named nameOrPath, or —
+// when no registry entry matches — loads and parses it as a file path.
+// It is the resolution rule behind every -workload-spec flag.
+func Resolve(nameOrPath string) (*Spec, error) {
+	if s, ok := ByName(nameOrPath); ok {
+		return s, nil
+	}
+	return Load(nameOrPath)
+}
+
+// Default returns a fresh parse of the checked-in default suite spec.
+func Default() *Spec {
+	s, err := Parse(defaultJSON)
+	if err != nil {
+		// Unreachable: the embedded document is validated in CI.
+		panic(fmt.Sprintf("spec: embedded default.json invalid: %v", err))
+	}
+	return s
+}

@@ -1,0 +1,127 @@
+package spec
+
+import (
+	"github.com/chirplab/chirp/internal/trace"
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+// schedClient is one client inside a tenantScheduler: its generator,
+// its base rate in parts-per-million, and its lifecycle modulation.
+type schedClient struct {
+	gen  *workloads.Generator
+	base uint64
+	life lifecycle
+}
+
+// tenantScheduler interleaves per-client generators into one
+// deterministic trace.Source: each scheduling turn it draws a client —
+// weighted by rate fraction times the client's current lifecycle
+// activity — and lets it emit a short run of kernel invocations, the
+// context-switch granularity real multi-tenant machines show the TLB.
+// It implements trace.Source and trace.BlockSource; the stream is
+// infinite (wrap trace.Limit) and restarts exactly via Reset.
+type tenantScheduler struct {
+	clients []schedClient
+	weights []uint64 // scratch for the weighted pick
+	runMin  int
+	runMax  int
+	seed    uint64
+	rng     *trace.RNG
+
+	buf     []trace.Record
+	pos     int
+	calls   uint64 // scheduled invocations so far: the lifecycle clock
+	cur     int
+	runLeft int
+}
+
+// newScheduler builds a scheduler over clients with the given
+// interleave bounds, seeded independently of every client generator.
+func newScheduler(clients []schedClient, runMin, runMax int, seed uint64) *tenantScheduler {
+	return &tenantScheduler{
+		clients: clients,
+		weights: make([]uint64, len(clients)),
+		runMin:  runMin,
+		runMax:  runMax,
+		seed:    seed,
+		rng:     trace.NewRNG(seed),
+	}
+}
+
+// Reset implements trace.Source.
+func (s *tenantScheduler) Reset() {
+	s.rng.Seed(s.seed)
+	s.buf = s.buf[:0]
+	s.pos = 0
+	s.calls = 0
+	s.cur = 0
+	s.runLeft = 0
+	for i := range s.clients {
+		s.clients[i].gen.Reset()
+	}
+}
+
+// Next implements trace.Source.
+func (s *tenantScheduler) Next(rec *trace.Record) bool {
+	for s.pos >= len(s.buf) {
+		s.fill()
+	}
+	*rec = s.buf[s.pos]
+	s.pos++
+	return true
+}
+
+// NextBlock implements trace.BlockSource natively, copying whole
+// kernel invocations out of the internal buffer.
+func (s *tenantScheduler) NextBlock(buf []trace.Record) int {
+	n := 0
+	for n < len(buf) {
+		if s.pos >= len(s.buf) {
+			s.fill()
+		}
+		c := copy(buf[n:], s.buf[s.pos:])
+		s.pos += c
+		n += c
+	}
+	return n
+}
+
+// fill buffers the next scheduled kernel invocation.
+func (s *tenantScheduler) fill() {
+	if s.runLeft <= 0 {
+		s.pick()
+	}
+	s.runLeft--
+	s.buf = s.clients[s.cur].gen.EmitCall(s.buf[:0])
+	s.pos = 0
+	s.calls++
+}
+
+// pick draws the next client and its run length. Weights are base
+// rate × lifecycle activity at the current call count; when every
+// client is outside its window (all drained), the base fractions are
+// used so the stream never stalls.
+func (s *tenantScheduler) pick() {
+	var total uint64
+	for i := range s.clients {
+		w := s.clients[i].base * s.clients[i].life.activity(s.calls)
+		s.weights[i] = w
+		total += w
+	}
+	if total == 0 {
+		for i := range s.clients {
+			s.weights[i] = s.clients[i].base
+			total += s.clients[i].base
+		}
+	}
+	x := s.rng.Uint64n(total)
+	s.cur = len(s.weights) - 1
+	for i, w := range s.weights {
+		if x < w {
+			s.cur = i
+			break
+		}
+		x -= w
+	}
+	s.runLeft = s.runMin + s.rng.Intn(s.runMax-s.runMin+1)
+}

@@ -1,0 +1,490 @@
+// Package spec defines the versioned, declarative workload
+// specification behind the workloads API: a JSON document describing a
+// population of tenants/clients — rate fractions, interleaving,
+// lifecycle windows (diurnal ramps, spikes, drains), footprints, and
+// access-pattern mixes — plus an optional template suite section. A
+// spec compiles (Compile) into the existing Program/Generator
+// machinery: single-client specs become ordinary program workloads,
+// multi-client specs become one composite workload whose
+// tenantScheduler interleaves per-client generators into a single
+// deterministic trace.Source.
+//
+// The format is strict and deterministic end to end: parsing rejects
+// unknown fields, defaulting is pure, Encode produces one canonical
+// form, and the content hash (which keys persistent L2-stream captures
+// apart across specs) is the hash of that canonical form with the
+// effective master seed applied. Master-seed supremacy holds
+// everywhere: a CLI -seed overrides the document's seed, and the same
+// (seed, spec) pair yields byte-identical traces.
+package spec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/chirplab/chirp/internal/workloads"
+)
+
+// Version is the spec schema version this package reads and writes.
+const Version = 1
+
+// Default interleave run bounds: how many consecutive kernel
+// invocations the scheduler leaves with one client before re-drawing.
+const (
+	defaultRunMin = 4
+	defaultRunMax = 16
+)
+
+// Spec is the top-level workload specification document.
+type Spec struct {
+	// Version is the schema version; must be 1.
+	Version int `json:"version"`
+	// Name names the compiled workload (and prefixes tenant views).
+	Name string `json:"name"`
+	// Seed is the master seed. A CLI -seed overrides it (master-seed
+	// supremacy); 0 or absent leaves derived seeds at their unmixed
+	// defaults, which is what keeps the default suite spec
+	// byte-identical to the legacy constructors.
+	Seed uint64 `json:"seed,omitempty"`
+	// Suite, when present, materialises a template-interleaved suite
+	// (the registry form of the legacy Suite/SuiteN constructors).
+	Suite *Suite `json:"suite,omitempty"`
+	// Clients, when present, describe a traffic population compiled
+	// into one composite interleaved workload plus per-tenant views.
+	Clients []Client `json:"clients,omitempty"`
+	// Interleave bounds the scheduler's per-client run lengths.
+	Interleave *Interleave `json:"interleave,omitempty"`
+}
+
+// Suite declares a template-interleaved workload suite.
+type Suite struct {
+	// Size is the number of workloads to materialise.
+	Size int `json:"size"`
+	// Categories are the templates to interleave; defaulted to the
+	// full category list.
+	Categories []string `json:"categories,omitempty"`
+}
+
+// Interleave bounds how many consecutive kernel invocations the
+// tenant scheduler leaves with one client before re-drawing — the
+// arrival process's temporal granularity.
+type Interleave struct {
+	RunMin int `json:"runMin,omitempty"`
+	RunMax int `json:"runMax,omitempty"`
+}
+
+// Client is one member of the traffic population: a tenant's workload
+// with a rate fraction, an optional lifecycle window, and either a
+// category template or an explicit program.
+type Client struct {
+	// ID names the client; unique within the spec.
+	ID string `json:"id"`
+	// Tenant groups clients into tenant views; defaults to ID.
+	Tenant string `json:"tenant,omitempty"`
+	// RateFraction is the client's relative share of scheduled kernel
+	// invocations, in (0, 1].
+	RateFraction float64 `json:"rateFraction"`
+	// Template instantiates a category template ("spec", "db", ...).
+	// Exactly one of Template and Program must be set.
+	Template string `json:"template,omitempty"`
+	// Program gives the client an explicit program model.
+	Program *Program `json:"program,omitempty"`
+	// SeedOffset perturbs the client's derived seed, so two clients of
+	// the same template can differ (or agree) deliberately.
+	SeedOffset uint64 `json:"seedOffset,omitempty"`
+	// Lifecycle modulates the client's rate over scheduler time;
+	// absent means steady.
+	Lifecycle *Lifecycle `json:"lifecycle,omitempty"`
+}
+
+// Lifecycle patterns.
+const (
+	PatternSteady  = "steady"
+	PatternDiurnal = "diurnal"
+	PatternSpike   = "spike"
+	PatternDrain   = "drain"
+	PatternWindow  = "window"
+)
+
+// Lifecycle is a client's activity window over scheduler time,
+// measured in scheduled kernel invocations (calls):
+//
+//   - steady:  constant activity (the default).
+//   - diurnal: a triangle wave between Floor×rate and rate with
+//     period Period — the day/night ramp.
+//   - spike:   steady, except bursts of Gain×rate lasting Width calls
+//     every Period calls, starting at Start.
+//   - drain:   steady until End−Ramp, ramping linearly to zero at End
+//     and staying gone — a departing tenant.
+//   - window:  active only in [Start, End) — an arriving (and
+//     optionally departing) tenant.
+type Lifecycle struct {
+	Pattern string  `json:"pattern"`
+	Period  uint64  `json:"period,omitempty"`
+	Floor   float64 `json:"floor,omitempty"`
+	Start   uint64  `json:"start,omitempty"`
+	End     uint64  `json:"end,omitempty"`
+	Width   uint64  `json:"width,omitempty"`
+	Gain    float64 `json:"gain,omitempty"`
+	Ramp    uint64  `json:"ramp,omitempty"`
+}
+
+// Program is an explicit program model: named regions, kernels, and
+// the sites binding them, mirroring the Builder primitives.
+type Program struct {
+	Regions []Region `json:"regions"`
+	Kernels []Kernel `json:"kernels"`
+	Sites   []Site   `json:"sites"`
+	// Phases are weight vectors over Sites; absent means one uniform
+	// phase.
+	Phases []Phase `json:"phases,omitempty"`
+	// CallsPerPhase is the invocation count before the next phase;
+	// required when more than one phase is declared.
+	CallsPerPhase int `json:"callsPerPhase,omitempty"`
+	// RunMin/RunMax/SkipScale override the builder's seeded defaults
+	// when non-zero.
+	RunMin    int    `json:"runMin,omitempty"`
+	RunMax    int    `json:"runMax,omitempty"`
+	SkipScale uint32 `json:"skipScale,omitempty"`
+}
+
+// Region is a named contiguous data region.
+type Region struct {
+	Name     string `json:"name"`
+	Pages    uint64 `json:"pages"`
+	HotPages uint64 `json:"hotPages,omitempty"`
+}
+
+// Kernel is a named shared code body.
+type Kernel struct {
+	Name      string `json:"name"`
+	CodePages int    `json:"codePages,omitempty"`
+	Loads     int    `json:"loads,omitempty"`
+	Noise     int    `json:"noise,omitempty"`
+	Store     bool   `json:"store,omitempty"`
+}
+
+// Site binds a kernel to a region under an access behaviour
+// ("stream", "loop", "chase", "zipf", "gups", "batch", "window").
+type Site struct {
+	Kernel       string  `json:"kernel"`
+	Region       string  `json:"region"`
+	Behavior     string  `json:"behavior"`
+	PagesPerCall int     `json:"pagesPerCall,omitempty"`
+	LoadsPerPage int     `json:"loadsPerPage,omitempty"`
+	SkipALU      uint32  `json:"skipALU,omitempty"`
+	ZipfSkew     float64 `json:"zipfSkew,omitempty"`
+	ChunkPages   uint64  `json:"chunkPages,omitempty"`
+	Passes       uint64  `json:"passes,omitempty"`
+	WindowDrift  uint64  `json:"windowDrift,omitempty"`
+	Stores       bool    `json:"stores,omitempty"`
+	IndirectCall bool    `json:"indirectCall,omitempty"`
+}
+
+// Phase is a weight vector over the program's sites, in declaration
+// order; 0 disables a site for the phase.
+type Phase struct {
+	Weights []uint32 `json:"weights"`
+}
+
+// Parse decodes, defaults, and validates a spec document. Unknown
+// fields are rejected, so typos fail loudly instead of silently
+// changing the modelled population.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: parse: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("spec: parse: trailing data after document")
+	}
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses the spec file at path.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return s, nil
+}
+
+// Normalize applies the deterministic defaulting rules in place and
+// then validates. It is idempotent; Parse calls it, and Encode/Hash
+// assume it has run.
+func (s *Spec) Normalize() error {
+	if s.Suite != nil && len(s.Suite.Categories) == 0 {
+		s.Suite.Categories = append([]string(nil), workloads.Categories...)
+	}
+	if len(s.Clients) > 0 {
+		if s.Interleave == nil {
+			s.Interleave = &Interleave{}
+		}
+		if s.Interleave.RunMin == 0 {
+			s.Interleave.RunMin = defaultRunMin
+		}
+		if s.Interleave.RunMax == 0 {
+			s.Interleave.RunMax = defaultRunMax
+		}
+	}
+	for i := range s.Clients {
+		cl := &s.Clients[i]
+		if cl.Tenant == "" {
+			cl.Tenant = cl.ID
+		}
+		if l := cl.Lifecycle; l != nil {
+			if l.Pattern == "" {
+				l.Pattern = PatternSteady
+			}
+			if l.Pattern == PatternSpike && l.Gain == 0 {
+				l.Gain = 4
+			}
+			if l.Pattern == PatternDrain && l.Ramp == 0 {
+				l.Ramp = 1
+			}
+		}
+		if p := cl.Program; p != nil {
+			for k := range p.Kernels {
+				if p.Kernels[k].CodePages == 0 {
+					p.Kernels[k].CodePages = 1
+				}
+				if p.Kernels[k].Loads == 0 {
+					p.Kernels[k].Loads = 1
+				}
+			}
+			for si := range p.Sites {
+				if p.Sites[si].PagesPerCall == 0 {
+					p.Sites[si].PagesPerCall = 1
+				}
+			}
+		}
+	}
+	return s.validate()
+}
+
+// validate rejects malformed specs with field-precise errors.
+func (s *Spec) validate() error {
+	if s.Version != Version {
+		return fmt.Errorf("spec: unsupported version %d (want %d)", s.Version, Version)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("spec: name is required")
+	}
+	if s.Suite == nil && len(s.Clients) == 0 {
+		return fmt.Errorf("spec %s: needs a suite section or at least one client", s.Name)
+	}
+	if s.Suite != nil {
+		if s.Suite.Size <= 0 {
+			return fmt.Errorf("spec %s: suite.size must be > 0", s.Name)
+		}
+		for _, cat := range s.Suite.Categories {
+			if _, ok := workloads.Template(cat); !ok {
+				return fmt.Errorf("spec %s: suite references unknown template %q", s.Name, cat)
+			}
+		}
+	}
+	if s.Interleave != nil {
+		if s.Interleave.RunMin < 1 || s.Interleave.RunMax < s.Interleave.RunMin {
+			return fmt.Errorf("spec %s: interleave needs 1 <= runMin <= runMax, got [%d, %d]",
+				s.Name, s.Interleave.RunMin, s.Interleave.RunMax)
+		}
+	}
+	seen := make(map[string]bool, len(s.Clients))
+	for i := range s.Clients {
+		cl := &s.Clients[i]
+		at := fmt.Sprintf("spec %s: client[%d]", s.Name, i)
+		if cl.ID == "" {
+			return fmt.Errorf("%s: id is required", at)
+		}
+		at = fmt.Sprintf("spec %s: client %q", s.Name, cl.ID)
+		if seen[cl.ID] {
+			return fmt.Errorf("%s: duplicate id", at)
+		}
+		seen[cl.ID] = true
+		if !(cl.RateFraction > 0 && cl.RateFraction <= 1) {
+			return fmt.Errorf("%s: rateFraction must be in (0, 1], got %g", at, cl.RateFraction)
+		}
+		if (cl.Template == "") == (cl.Program == nil) {
+			return fmt.Errorf("%s: exactly one of template and program must be set", at)
+		}
+		if cl.Template != "" {
+			if _, ok := workloads.Template(cl.Template); !ok {
+				return fmt.Errorf("%s: unknown template %q", at, cl.Template)
+			}
+		}
+		if err := validateLifecycle(cl.Lifecycle, at); err != nil {
+			return err
+		}
+		if cl.Program != nil {
+			if err := validateProgram(cl.Program, at); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func validateLifecycle(l *Lifecycle, at string) error {
+	if l == nil {
+		return nil
+	}
+	switch l.Pattern {
+	case PatternSteady:
+	case PatternDiurnal:
+		if l.Period == 0 {
+			return fmt.Errorf("%s: diurnal lifecycle needs period > 0", at)
+		}
+		if l.Floor < 0 || l.Floor > 1 {
+			return fmt.Errorf("%s: diurnal floor must be in [0, 1], got %g", at, l.Floor)
+		}
+	case PatternSpike:
+		if l.Period == 0 || l.Width == 0 {
+			return fmt.Errorf("%s: spike lifecycle needs period > 0 and width > 0", at)
+		}
+		if l.Width > l.Period {
+			return fmt.Errorf("%s: spike width %d exceeds period %d", at, l.Width, l.Period)
+		}
+		if l.Gain <= 0 {
+			return fmt.Errorf("%s: spike gain must be > 0, got %g", at, l.Gain)
+		}
+	case PatternDrain:
+		if l.End == 0 {
+			return fmt.Errorf("%s: drain lifecycle needs end > 0", at)
+		}
+		if l.Ramp > l.End {
+			return fmt.Errorf("%s: drain ramp %d exceeds end %d", at, l.Ramp, l.End)
+		}
+	case PatternWindow:
+		if l.End <= l.Start {
+			return fmt.Errorf("%s: window lifecycle needs end > start, got [%d, %d)", at, l.Start, l.End)
+		}
+	default:
+		return fmt.Errorf("%s: unknown lifecycle pattern %q", at, l.Pattern)
+	}
+	return nil
+}
+
+func validateProgram(p *Program, at string) error {
+	if len(p.Regions) == 0 || len(p.Kernels) == 0 || len(p.Sites) == 0 {
+		return fmt.Errorf("%s: program needs at least one region, kernel, and site", at)
+	}
+	names := make(map[string]bool, len(p.Regions)+len(p.Kernels))
+	for i, r := range p.Regions {
+		if r.Name == "" {
+			return fmt.Errorf("%s: region[%d] needs a name", at, i)
+		}
+		if names["r:"+r.Name] {
+			return fmt.Errorf("%s: duplicate region %q", at, r.Name)
+		}
+		names["r:"+r.Name] = true
+		if r.Pages == 0 {
+			return fmt.Errorf("%s: region %q needs pages > 0", at, r.Name)
+		}
+		if r.HotPages > r.Pages {
+			return fmt.Errorf("%s: region %q hotPages %d exceeds pages %d", at, r.Name, r.HotPages, r.Pages)
+		}
+	}
+	for i, k := range p.Kernels {
+		if k.Name == "" {
+			return fmt.Errorf("%s: kernel[%d] needs a name", at, i)
+		}
+		if names["k:"+k.Name] {
+			return fmt.Errorf("%s: duplicate kernel %q", at, k.Name)
+		}
+		names["k:"+k.Name] = true
+	}
+	for i, site := range p.Sites {
+		if !names["k:"+site.Kernel] {
+			return fmt.Errorf("%s: site[%d] references unknown kernel %q", at, i, site.Kernel)
+		}
+		if !names["r:"+site.Region] {
+			return fmt.Errorf("%s: site[%d] references unknown region %q", at, i, site.Region)
+		}
+		if _, ok := workloads.ParseBehavior(site.Behavior); !ok {
+			return fmt.Errorf("%s: site[%d] has unknown behavior %q", at, i, site.Behavior)
+		}
+	}
+	for i, ph := range p.Phases {
+		if len(ph.Weights) != len(p.Sites) {
+			return fmt.Errorf("%s: phase[%d] has %d weights for %d sites", at, i, len(ph.Weights), len(p.Sites))
+		}
+		var total uint64
+		for _, w := range ph.Weights {
+			total += uint64(w)
+		}
+		if total == 0 {
+			return fmt.Errorf("%s: phase[%d] has zero total weight", at, i)
+		}
+	}
+	if len(p.Phases) > 1 && p.CallsPerPhase <= 0 {
+		return fmt.Errorf("%s: callsPerPhase must be > 0 with %d phases", at, len(p.Phases))
+	}
+	return nil
+}
+
+// Encode renders the spec in its canonical form: two-space-indented
+// JSON of the normalized document, newline-terminated. Encoding a
+// parsed spec and re-parsing it round-trips exactly; checked-in specs
+// are kept in this form.
+func (s *Spec) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("spec: encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Hash is the spec's content hash: sha256 over the canonical encoding,
+// truncated to 128 bits of hex. Any semantic change to the spec — a
+// client's rate fraction included — changes the hash, which is what
+// keeps persistent L2-stream captures from colliding across specs.
+func (s *Spec) Hash() (string, error) {
+	return s.hashWithSeed(s.Seed)
+}
+
+// hashWithSeed hashes the spec as if its seed were seed — the form
+// Compile uses so the effective (possibly CLI-overridden) master seed
+// is part of the capture identity.
+func (s *Spec) hashWithSeed(seed uint64) (string, error) {
+	c, err := s.clone()
+	if err != nil {
+		return "", err
+	}
+	c.Seed = seed
+	data, err := c.Encode()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte("chirp-workload-spec-v1|"))
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}
+
+// clone deep-copies the spec via its JSON form (exact for every field
+// type the schema uses).
+func (s *Spec) clone() (*Spec, error) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("spec: clone: %w", err)
+	}
+	var c Spec
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("spec: clone: %w", err)
+	}
+	return &c, nil
+}

@@ -6,24 +6,94 @@ import (
 	"github.com/chirplab/chirp/internal/trace"
 )
 
-// Workload names one member of the suite and builds its program on
-// demand. Building is cheap; the heavy state is in the Generator.
+// Workload names one member of a compiled suite or spec and builds its
+// trace source on demand. Building is cheap; the heavy state is in the
+// Generator (or, for composite multi-tenant workloads, the scheduler
+// behind the source hook).
 type Workload struct {
 	Name     string
 	Category string
-	Seed     uint64
+	// Seed is the effective seed the workload's trace derives from
+	// (after master-seed mixing, for spec-compiled workloads).
+	Seed uint64
+	// SpecHash is the content hash of the workload spec this workload
+	// was compiled from. Legacy Suite/SuiteN workloads predate specs
+	// and carry ""; the hash keeps persistent capture streams from
+	// colliding across specs (see internal/l2stream).
+	SpecHash string
+
 	build    func(name string, seed uint64) *Program
+	source   func() trace.Source
+	describe func() Description
+	profile  string
 }
 
-// Program constructs the workload's program model.
-func (w *Workload) Program() *Program { return w.build(w.Name, w.Seed) }
+// Program constructs the workload's program model. Composite workloads
+// (multi-tenant schedules) have no single program and return nil; use
+// Source for the trace and Describe for the report.
+func (w *Workload) Program() *Program {
+	if w.build == nil {
+		return nil
+	}
+	return w.build(w.Name, w.Seed)
+}
 
 // Source returns a fresh deterministic trace stream for the workload.
-func (w *Workload) Source() trace.Source { return NewGenerator(w.Program()) }
+func (w *Workload) Source() trace.Source {
+	if w.source != nil {
+		return w.source()
+	}
+	return NewGenerator(w.Program())
+}
+
+// Profile reports the workload's population profile ("quiet",
+// "pressure", "migrate", or a composite label) without requiring a
+// Program.
+func (w *Workload) Profile() string {
+	if w.profile != "" {
+		return w.profile
+	}
+	if p := w.Program(); p != nil {
+		return p.Profile
+	}
+	return ""
+}
+
+// Describe summarises the workload. Spec-compiled composites report
+// their tenant/client structure; program workloads report their
+// program model.
+func (w *Workload) Describe() Description {
+	if w.describe != nil {
+		return w.describe()
+	}
+	d := Describe(w.Program())
+	d.SpecHash = w.SpecHash
+	return d
+}
+
+// NewProgramWorkload wraps a program builder as a workload. The spec
+// compiler uses it for single-client programs; seed is the effective
+// (master-mixed) seed and specHash labels the originating spec.
+func NewProgramWorkload(name, category, specHash string, seed uint64, build func(name string, seed uint64) *Program) *Workload {
+	return &Workload{Name: name, Category: category, Seed: seed, SpecHash: specHash, build: build}
+}
+
+// NewSourceWorkload wraps an arbitrary deterministic source factory
+// (e.g. a multi-tenant scheduler) as a composite workload. profile
+// labels the population profile for suite reports; describe supplies
+// the -describe report.
+func NewSourceWorkload(name, category, specHash string, seed uint64, profile string, source func() trace.Source, describe func() Description) *Workload {
+	return &Workload{
+		Name: name, Category: category, Seed: seed, SpecHash: specHash,
+		profile: profile, source: source, describe: describe,
+	}
+}
 
 // Categories lists the suite's workload families, mirroring the
 // paper's description of the CVP-1 mix: "SPEC, database, crypto,
-// scientific, web, 'big data' and other applications".
+// scientific, web, 'big data' and other applications". Each category
+// is a program template the spec compiler can also instantiate
+// directly (spec clients with "template": "db" etc.).
 var Categories = []string{"spec", "db", "crypto", "sci", "web", "bigdata", "ml", "osmix"}
 
 var builders = map[string]func(name string, seed uint64) *Program{
@@ -37,21 +107,52 @@ var builders = map[string]func(name string, seed uint64) *Program{
 	"osmix":   buildOSMix,
 }
 
+// Template returns the named category template's program builder, for
+// the spec compiler; ok is false for unknown templates.
+func Template(category string) (build func(name string, seed uint64) *Program, ok bool) {
+	build, ok = builders[category]
+	return build, ok
+}
+
 // SuiteSize is the number of workloads the paper simulates.
 const SuiteSize = 870
 
-// Suite returns the full 870-workload suite, categories interleaved so
-// any prefix is diverse.
-func Suite() []*Workload { return SuiteN(SuiteSize) }
+// SuiteSpec declares an interleaved suite of template-built workloads —
+// the registry form behind Suite/SuiteN and the `suite` section of a
+// workload spec (internal/workloads/spec).
+type SuiteSpec struct {
+	// Size is the number of workloads to materialise.
+	Size int
+	// Categories are the templates to interleave; nil means Categories.
+	Categories []string
+}
 
-// SuiteN returns the first n workloads of the interleaved suite
-// (n ≤ SuiteSize recommended but not required; the naming scheme
-// extends indefinitely).
-func SuiteN(n int) []*Workload {
-	out := make([]*Workload, 0, n)
-	idx := make(map[string]int, len(Categories))
-	for i := 0; i < n; i++ {
-		cat := Categories[i%len(Categories)]
+// DefaultSuite is the declaration of the paper's 870-workload suite.
+func DefaultSuite() SuiteSpec { return SuiteSpec{Size: SuiteSize} }
+
+// CompileSuite materialises spec into workloads, categories
+// interleaved so any prefix is diverse. Per-workload seeds follow the
+// historical formula mixed with masterSeed; masterSeed 0 preserves the
+// formula exactly, which is what keeps the checked-in default spec
+// byte-identical to the legacy suite. specHash labels every workload
+// with the spec it came from ("" for the legacy constructors).
+func CompileSuite(spec SuiteSpec, masterSeed uint64, specHash string) ([]*Workload, error) {
+	cats := spec.Categories
+	if len(cats) == 0 {
+		cats = Categories
+	}
+	for _, cat := range cats {
+		if _, ok := builders[cat]; !ok {
+			return nil, fmt.Errorf("workloads: unknown category %q", cat)
+		}
+	}
+	if spec.Size < 0 {
+		return nil, fmt.Errorf("workloads: negative suite size %d", spec.Size)
+	}
+	out := make([]*Workload, 0, spec.Size)
+	idx := make(map[string]int, len(cats))
+	for i := 0; i < spec.Size; i++ {
+		cat := cats[i%len(cats)]
 		k := idx[cat]
 		idx[cat]++
 		out = append(out, &Workload{
@@ -59,14 +160,31 @@ func SuiteN(n int) []*Workload {
 			Category: cat,
 			// Seeds separate categories widely so parameter draws never
 			// correlate across families.
-			Seed:  uint64(k)*2654435761 + hashCategory(cat),
-			build: builders[cat],
+			Seed:     MixSeeds(masterSeed, uint64(k)*2654435761+HashString(cat)),
+			SpecHash: specHash,
+			build:    builders[cat],
 		})
 	}
-	return out
+	return out, nil
 }
 
-// ByName returns the named workload from the suite, or nil.
+// Suite returns the full 870-workload default suite.
+func Suite() []*Workload { return SuiteN(SuiteSize) }
+
+// SuiteN returns the first n workloads of the interleaved default
+// suite (n ≤ SuiteSize recommended but not required; the naming scheme
+// extends indefinitely). It is a thin wrapper over CompileSuite of the
+// default declaration.
+func SuiteN(n int) []*Workload {
+	ws, err := CompileSuite(SuiteSpec{Size: n}, 0, "")
+	if err != nil {
+		// Unreachable: the default categories always compile.
+		panic(err)
+	}
+	return ws
+}
+
+// ByName returns the named workload from the default suite, or nil.
 func ByName(name string) *Workload {
 	for _, w := range Suite() {
 		if w.Name == name {
@@ -76,165 +194,31 @@ func ByName(name string) *Workload {
 	return nil
 }
 
-func hashCategory(cat string) uint64 {
+// HashString hashes a name (FNV-1a, 64-bit) for seed derivation; the
+// suite's category seeds and the spec compiler's client seeds both use
+// it so seeds separate widely by name.
+func HashString(s string) uint64 {
 	var h uint64 = 1469598103934665603
-	for i := 0; i < len(cat); i++ {
-		h = (h ^ uint64(cat[i])) * 1099511628211
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
 	}
 	return h
 }
 
-// builder assembles a Program, laying out code and data address space.
-type builder struct {
-	prog         *Program
-	rng          *trace.RNG
-	nextCodePage uint64
-	nextDataPage uint64
-	kernelCount  uint64
-}
-
-func newBuilder(name, category string, seed uint64) *builder {
-	rng := trace.NewRNG(seed ^ 0xabcd1234)
-	return &builder{
-		prog: &Program{
-			Name: name, Category: category, Seed: seed,
-			RunMin: 2 + rng.Intn(2), RunMax: 4 + rng.Intn(5),
-			// Dilute to the paper's absolute MPKI range (average LRU MPKI
-			// of order 1.5); drawn per workload so the S-curve spreads.
-			SkipScale: uint32(3 + rng.Intn(4)),
-		},
-		rng: trace.NewRNG(seed),
-		// Code from 4 MB, data from 4 GB: disjoint page spaces.
-		nextCodePage: 0x400,
-		nextDataPage: 0x100000,
+// MixSeeds folds a master seed into a derived seed (splitmix64-style
+// finaliser). MixSeeds(0, s) == s, so an unset master seed preserves
+// legacy per-workload seeds — the master-seed-supremacy identity the
+// golden tests pin.
+func MixSeeds(master, derived uint64) uint64 {
+	if master == 0 {
+		return derived
 	}
-}
-
-// kernel lays out a kernel body across codePages pages with nLoads
-// load PCs, nNoise data-dependent branches and an optional store.
-func (b *builder) kernel(codePages, nLoads, nNoise int, hasStore bool) *Kernel {
-	if codePages < 1 {
-		codePages = 1
+	z := master ^ (derived * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = derived
 	}
-	if nLoads < 1 {
-		nLoads = 1
-	}
-	base := b.nextCodePage << pageShift
-	b.nextCodePage += uint64(codePages)
-	pageOf := func(i int) uint64 { return base + uint64(i%codePages)<<pageShift }
-	// Each kernel's load PCs carry a kernel-specific pattern in PC bits
-	// [3:2] — the instruction-slot bits that distinguish inlined or
-	// unrolled copies in real code. Reuse behaviour therefore correlates
-	// with exactly the bits the paper's ADALINE study singles out
-	// (Figure 3) and that CHiRP's path history records.
-	lowTag := (b.kernelCount % 2) << 2
-	b.kernelCount++
-	// The body's PCs are spread over its pages, so executing the kernel
-	// actually fetches its whole code footprint — multi-page bodies
-	// create real instruction-side TLB pressure (the web category's
-	// front-end story).
-	k := &Kernel{
-		EntryPC:      base,
-		LoopBranchPC: pageOf(codePages-1) + 0x40,
-		RetPC:        pageOf(codePages-1) + 0x80,
-	}
-	for i := 0; i < nLoads; i++ {
-		k.LoadPCs = append(k.LoadPCs, pageOf(i)+0x100+lowTag+uint64(i)*0x48)
-	}
-	if hasStore {
-		k.StorePC = pageOf(codePages/2) + 0x200
-	}
-	for i := 0; i < nNoise; i++ {
-		k.NoisePCs = append(k.NoisePCs, pageOf(i+1)+0x300+uint64(i)*0x1c)
-	}
-	return k
-}
-
-// region allocates pages data pages with a hot working subset.
-func (b *builder) region(pages, hot uint64) *Region {
-	if pages == 0 {
-		pages = 1
-	}
-	if hot > pages {
-		hot = pages
-	}
-	r := &Region{BasePage: b.nextDataPage, Pages: pages, Hot: hot}
-	// Leave a guard gap so regions never blend.
-	b.nextDataPage += pages + 16
-	b.prog.Regions = append(b.prog.Regions, r)
-	return r
-}
-
-// site binds kernel k to region r under behaviour bv. Each site gets
-// its own driver code page so its branch PC is a distinct context
-// marker.
-func (b *builder) site(k *Kernel, r *Region, bv Behavior, pagesPerCall int) *Site {
-	base := b.nextCodePage << pageShift
-	b.nextCodePage++
-	s := &Site{
-		BranchPC:     base + 0x10,
-		CallPC:       base + 0x20,
-		Kernel:       k,
-		Region:       r,
-		Behavior:     bv,
-		PagesPerCall: pagesPerCall,
-		LoadsPerPage: 1,
-		SkipALU:      uint32(2 + b.rng.Intn(6)),
-	}
-	b.prog.Sites = append(b.prog.Sites, s)
-	b.prog.Kernels = appendKernelOnce(b.prog.Kernels, k)
-	return s
-}
-
-func appendKernelOnce(ks []*Kernel, k *Kernel) []*Kernel {
-	for _, e := range ks {
-		if e == k {
-			return ks
-		}
-	}
-	return append(ks, k)
-}
-
-// phases installs weight vectors; each vector must cover every site.
-func (b *builder) phases(callsPerPhase int, weights ...[]uint32) {
-	b.prog.CallsPerPhase = callsPerPhase
-	for _, w := range weights {
-		b.prog.Phases = append(b.prog.Phases, Phase{Weights: w})
-	}
-}
-
-// uniformPhase returns a weight vector of 1s for every current site.
-func (b *builder) uniformPhase() []uint32 {
-	w := make([]uint32, len(b.prog.Sites))
-	for i := range w {
-		w[i] = 1
-	}
-	return w
-}
-
-// rint draws a uniform int in [lo, hi].
-func (b *builder) rint(lo, hi int) int {
-	if hi <= lo {
-		return lo
-	}
-	return lo + b.rng.Intn(hi-lo+1)
-}
-
-// rpages draws a page count in [lo, hi].
-func (b *builder) rpages(lo, hi int) uint64 { return uint64(b.rint(lo, hi)) }
-
-// drift draws a sliding-window advance for a hot window of w pages:
-// half of the draws are stationary (0), the rest slide by roughly
-// 0.5–2%% of the window per pass. Drifting working sets are what
-// penalise indiscriminate freeze strategies (see Behavior Window).
-func (b *builder) drift(w uint64) uint64 {
-	if b.rng.Bool(0.5) {
-		return 0
-	}
-	lo := int(w/200) + 2
-	hi := int(w / 50)
-	if hi <= lo {
-		hi = lo + 1
-	}
-	return uint64(b.rint(lo, hi))
+	return z
 }
