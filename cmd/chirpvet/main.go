@@ -6,12 +6,17 @@
 //
 // Usage:
 //
-//	chirpvet [-rules r1,r2] [-json] [-list] [packages ...]
+//	chirpvet [-rules r1,r2] [-json|-sarif] [-list] [packages ...]
 //
 // With no arguments (or "./...") it analyzes every non-test package in
 // the module containing the working directory. Explicit directory
 // arguments analyze just those packages — handy for pointing it at a
 // testdata fixture.
+//
+// -sarif emits a SARIF 2.1.0 log on stdout (one run, one result per
+// diagnostic) for code-scanning uploads and CI artifacts; the exit
+// code still reflects the findings, so a pipeline can archive the
+// report and gate on the same invocation.
 //
 // Exit codes: 0 clean, 1 diagnostics reported, 2 usage or load error.
 // There is no -fix: every finding is either a bug to fix or a
@@ -39,13 +44,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	rulesFlag := fs.String("rules", "", "comma-separated rule subset to run (default: all)")
 	jsonFlag := fs.Bool("json", false, "emit diagnostics as a JSON array instead of file:line:col lines")
+	sarifFlag := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log instead of file:line:col lines")
 	listFlag := fs.Bool("list", false, "list the registered rules and exit")
 	dirFlag := fs.String("C", "", "module root to analyze (default: locate go.mod above the working directory)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: chirpvet [-rules r1,r2] [-json] [-list] [packages ...]\n")
+		fmt.Fprintf(stderr, "usage: chirpvet [-rules r1,r2] [-json|-sarif] [-list] [packages ...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonFlag && *sarifFlag {
+		fmt.Fprintln(stderr, "chirpvet: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -92,7 +102,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	diags := analysis.Run(mod, rules)
-	if *jsonFlag {
+	switch {
+	case *sarifFlag:
+		if err := writeSARIF(stdout, root, rules, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	case *jsonFlag:
 		type row struct {
 			File    string `json:"file"`
 			Line    int    `json:"line"`
@@ -110,7 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			d.Pos.Filename = relTo(root, d.Pos.Filename)
 			fmt.Fprintln(stdout, d)

@@ -86,6 +86,84 @@ func TestFixtureFindingsExitOne(t *testing.T) {
 	}
 }
 
+func TestSARIFOutput(t *testing.T) {
+	code, out, _ := vet(t, "-sarif", "-rules", "lock-balance", "internal/analysis/testdata/src/lockbalance")
+	if code != 1 {
+		t.Fatalf("-sarif fixture run exited %d, want 1", code)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &log); err != nil {
+		t.Fatalf("-sarif output does not parse: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected log shape: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "chirpvet" || len(run.Tool.Driver.Rules) == 0 {
+		t.Fatalf("malformed driver: %+v", run.Tool.Driver)
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("-sarif reported no results for the lockbalance fixture")
+	}
+	for _, res := range run.Results {
+		if res.RuleID != "lock-balance" || res.Message.Text == "" || len(res.Locations) != 1 {
+			t.Errorf("malformed result: %+v", res)
+			continue
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if !strings.HasPrefix(loc.ArtifactLocation.URI, "internal/analysis/testdata/src/lockbalance/") {
+			t.Errorf("URI not module-relative with forward slashes: %q", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine == 0 {
+			t.Errorf("result missing start line: %+v", res)
+		}
+		if res.RuleIndex < 0 || res.RuleIndex >= len(run.Tool.Driver.Rules) ||
+			run.Tool.Driver.Rules[res.RuleIndex].ID != res.RuleID {
+			t.Errorf("ruleIndex %d does not point at %s in the driver rule table", res.RuleIndex, res.RuleID)
+		}
+	}
+}
+
+func TestJSONAndSARIFExclusive(t *testing.T) {
+	code, _, stderr := vet(t, "-json", "-sarif", "internal/policy")
+	if code != 2 {
+		t.Fatalf("-json -sarif exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("stderr missing mutual-exclusion error: %s", stderr)
+	}
+}
+
 func TestJSONOutput(t *testing.T) {
 	code, out, _ := vet(t, "-json", "-rules", "determinism", "internal/analysis/testdata/src/determinism/internal/workloads")
 	if code != 1 {

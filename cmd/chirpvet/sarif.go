@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+
+	"github.com/chirplab/chirp/internal/analysis"
+)
+
+// The subset of SARIF 2.1.0 code-scanning consumers require: one run,
+// the rule index in the driver, and one result per diagnostic with a
+// physical location. Field names follow the spec exactly; everything
+// optional is omitted.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders the diagnostics as one SARIF run. Every selected
+// rule appears in the driver's rule table (so a clean run still
+// documents what was checked); results reference rules by index as the
+// spec recommends. File URIs are module-root-relative with forward
+// slashes, which is what code-scanning upload endpoints expect.
+func writeSARIF(w io.Writer, root string, rules []analysis.Rule, diags []analysis.Diagnostic) error {
+	srules := make([]sarifRule, len(rules))
+	index := make(map[string]int, len(rules))
+	for i, r := range rules {
+		srules[i] = sarifRule{ID: r.Name(), ShortDescription: sarifMessage{Text: r.Doc()}}
+		index[r.Name()] = i
+	}
+	// The directive pseudo-rule reports //chirp: hygiene problems; it is
+	// not selectable, so register it on demand.
+	results := make([]sarifResult, len(diags))
+	for i, d := range diags {
+		idx, ok := index[d.Rule]
+		if !ok {
+			idx = len(srules)
+			index[d.Rule] = idx
+			srules = append(srules, sarifRule{ID: d.Rule, ShortDescription: sarifMessage{Text: "//chirp: directive hygiene"}})
+		}
+		results[i] = sarifResult{
+			RuleID:    d.Rule,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: toSlashRel(root, d.Pos.Filename)},
+				Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+			}}},
+		}
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "chirpvet", Rules: srules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// toSlashRel renders path relative to root with forward slashes.
+func toSlashRel(root, path string) string {
+	return filepath.ToSlash(relTo(root, path))
+}

@@ -20,7 +20,24 @@
 //   - no-deprecated: the pre-engine suite entry points may not gain new
 //     callers (this rule replaced the CI grep gate).
 //
-// Two comment directives steer the rules:
+// A second tier of rules runs a forward must/may dataflow analysis
+// over per-function control-flow graphs (cfg.go, dataflow.go):
+//
+//   - lock-balance: every sync.Mutex/RWMutex Lock reaches its Unlock
+//     on all paths (or via defer), and no lock is held across a
+//     channel operation, select, or sync.WaitGroup.Wait.
+//   - pair-lifetime: values acquired through a //chirp:acquires
+//     function (pooled TLB arrays, spill refcounts) must reach a
+//     matching //chirp:releases call on every path, unless they
+//     escape the function.
+//   - atomic-mix: a struct field accessed through sync/atomic anywhere
+//     in the module must never be read or written plainly elsewhere.
+//   - goroutine-discipline: wg.Add precedes the go statement it
+//     covers on every path, the spawned function calls wg.Done on all
+//     paths, and goroutines referencing their loop variable are
+//     flagged for explicit rebinding.
+//
+// Comment directives steer the rules:
 //
 //	//chirp:hotpath
 //	    in a function's doc comment marks it as a hot-path function
@@ -32,6 +49,20 @@
 //	    comment — in the whole function. The reason is mandatory;
 //	    directives without one are themselves reported.
 //
+//	//chirp:acquires <token>
+//	    in a function's doc comment declares that the function's
+//	    non-error results hold a resource named <token> that callers
+//	    must release. At most one per function.
+//
+//	//chirp:releases <token>
+//	    in a function's doc comment declares that calling the function
+//	    (on, or passing, an acquired value) releases <token>. May be
+//	    repeated for functions releasing several resource kinds.
+//
+// Tokens are lowercase identifiers ([a-z][a-z0-9_-]*). Malformed
+// directives — wrong placement, missing or malformed token, duplicate
+// acquires — are diagnosed by the same hygiene pass as //chirp:allow.
+//
 // Only non-test sources are analyzed: _test.go files may freely use
 // maps, wall clocks and deprecated compatibility wrappers.
 package analysis
@@ -40,8 +71,10 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, renderable as
@@ -77,6 +110,10 @@ func Rules() []Rule {
 		&DeterminismRule{},
 		&CtxFirstRule{},
 		&DeprecatedRule{},
+		&LockBalanceRule{},
+		&PairLifetimeRule{},
+		&AtomicMixRule{},
+		&GoroutineRule{},
 	}
 }
 
@@ -143,48 +180,82 @@ func Run(m *Module, rules []Rule) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 	return out
 }
 
 // Directive names.
 const (
-	directiveHotpath = "//chirp:hotpath"
-	directiveAllow   = "//chirp:allow"
+	directiveHotpath  = "//chirp:hotpath"
+	directiveAllow    = "//chirp:allow"
+	directiveAcquires = "//chirp:acquires"
+	directiveReleases = "//chirp:releases"
 )
 
 // allowRange is one //chirp:allow grant: rule suppressed over the
-// [fromLine, toLine] range of file.
+// [fromLine, toLine] range of its file (ranges are indexed per file in
+// Module.allows, so the file name lives in the map key).
 type allowRange struct {
-	file     string
 	rule     string
 	from, to int
 }
 
-// collectDirectives scans a parsed file for //chirp:hotpath and
-// //chirp:allow directives, recording hotpath annotations on their
-// functions, allow ranges, and hygiene problems (missing rule or
-// reason, unknown rule name).
-func (m *Module) collectDirectives(p *Package, f *ast.File) {
+// pairTokenRe is the //chirp:acquires///chirp:releases token grammar.
+var pairTokenRe = regexp.MustCompile(`^[a-z][a-z0-9_-]*$`)
+
+// knownRuleNames builds the rule-name set exactly once per process;
+// the registered rule set is static, so collectDirectives (called once
+// per module over every file) never rebuilds it.
+var knownRuleNames = sync.OnceValue(func() map[string]bool {
 	known := make(map[string]bool)
 	for _, n := range RuleNames() {
 		known[n] = true
 	}
+	return known
+})
+
+// collectDirectives scans every parsed file of the module for chirp
+// directives, recording hotpath annotations, allow ranges (indexed per
+// file), acquire/release pairings, and hygiene problems (missing rule
+// or reason, unknown rule name, malformed pairing token). It runs once
+// per module: the rule-name set and the comment→FuncDecl doc index are
+// built a single time up front instead of per file.
+func (m *Module) collectDirectives() {
+	known := knownRuleNames()
 
 	// Map every comment to the FuncDecl whose doc group holds it, so
-	// doc-comment directives can take function scope.
+	// doc-comment directives can take function scope. One pass over
+	// all declarations of all packages; comments are unique nodes, so
+	// a single module-wide map is sound.
 	docOf := make(map[*ast.Comment]*ast.FuncDecl)
-	for _, decl := range f.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok || fd.Doc == nil {
-			continue
-		}
-		for _, c := range fd.Doc.List {
-			docOf[c] = fd
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					docOf[c] = fd
+				}
+			}
 		}
 	}
 
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			m.collectFileDirectives(p, f, known, docOf)
+		}
+	}
+}
+
+// collectFileDirectives scans one file's comments against the
+// module-wide rule-name set and doc index.
+func (m *Module) collectFileDirectives(p *Package, f *ast.File, known map[string]bool, docOf map[*ast.Comment]*ast.FuncDecl) {
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(c.Text)
@@ -229,22 +300,65 @@ func (m *Module) collectDirectives(p *Package, f *ast.File) {
 					})
 					continue
 				}
-				ar := allowRange{file: pos.Filename, rule: rule, from: pos.Line, to: pos.Line + 1}
+				ar := allowRange{rule: rule, from: pos.Line, to: pos.Line + 1}
 				if fd := docOf[c]; fd != nil {
 					ar.from = m.Fset.Position(fd.Pos()).Line
 					ar.to = m.Fset.Position(fd.End()).Line
 				}
-				m.allows = append(m.allows, ar)
+				m.allows[pos.Filename] = append(m.allows[pos.Filename], ar)
+			case strings.HasPrefix(text, directiveAcquires), strings.HasPrefix(text, directiveReleases):
+				name := directiveAcquires
+				if strings.HasPrefix(text, directiveReleases) {
+					name = directiveReleases
+				}
+				rest := strings.TrimPrefix(text, name)
+				if rest != "" && !strings.HasPrefix(rest, " ") {
+					continue // some other //chirp:acquiresXyz token; not ours
+				}
+				pos := m.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) != 1 || !pairTokenRe.MatchString(fields[0]) {
+					m.directiveProblems = append(m.directiveProblems, Diagnostic{
+						Pos: pos, Rule: "directive",
+						Message: fmt.Sprintf("%s takes exactly one token matching %s", name, pairTokenRe),
+					})
+					continue
+				}
+				fd := docOf[c]
+				if fd == nil {
+					m.directiveProblems = append(m.directiveProblems, Diagnostic{
+						Pos: pos, Rule: "directive",
+						Message: fmt.Sprintf("%s must appear in a function's doc comment", name),
+					})
+					continue
+				}
+				token := fields[0]
+				if name == directiveAcquires {
+					if prev, dup := m.acquires[fd]; dup {
+						// Report at the declaration: gofmt pins
+						// directives to the end of the doc comment, so
+						// the function line is the stable anchor.
+						m.directiveProblems = append(m.directiveProblems, Diagnostic{
+							Pos: m.Fset.Position(fd.Pos()), Rule: "directive",
+							Message: fmt.Sprintf("duplicate //chirp:acquires (function already acquires %q)", prev),
+						})
+						continue
+					}
+					m.acquires[fd] = token
+				} else {
+					m.releases[fd] = append(m.releases[fd], token)
+				}
 			}
 		}
 	}
 }
 
 // allowed reports whether a diagnostic of rule at pos is suppressed by
-// an in-scope //chirp:allow directive.
+// an in-scope //chirp:allow directive. The per-file index keeps this
+// O(allows in that file) rather than O(allows in the module).
 func (m *Module) allowed(rule string, pos token.Position) bool {
-	for _, a := range m.allows {
-		if a.rule == rule && a.file == pos.Filename && pos.Line >= a.from && pos.Line <= a.to {
+	for _, a := range m.allows[pos.Filename] {
+		if a.rule == rule && pos.Line >= a.from && pos.Line <= a.to {
 			return true
 		}
 	}
@@ -254,3 +368,9 @@ func (m *Module) allowed(rule string, pos token.Position) bool {
 // HotpathFuncs returns the //chirp:hotpath-annotated declarations and
 // their packages.
 func (m *Module) HotpathFuncs() map[*ast.FuncDecl]*Package { return m.hotpath }
+
+// AcquireToken returns the //chirp:acquires token on fd, or "".
+func (m *Module) AcquireToken(fd *ast.FuncDecl) string { return m.acquires[fd] }
+
+// ReleaseTokens returns the //chirp:releases tokens on fd.
+func (m *Module) ReleaseTokens(fd *ast.FuncDecl) []string { return m.releases[fd] }

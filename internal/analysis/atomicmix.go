@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixRule reports variables and struct fields that are accessed
+// through the function-style sync/atomic API (atomic.AddInt64(&s.n,…))
+// in one place and read or written plainly in another, anywhere in the
+// module. Mixing the two silently drops the atomicity guarantee: the
+// plain access races with the atomic ones. Typed atomics
+// (atomic.Int64 fields) are immune — every access goes through their
+// methods — and are the recommended fix.
+type AtomicMixRule struct{}
+
+func (r *AtomicMixRule) Name() string { return "atomic-mix" }
+
+func (r *AtomicMixRule) Doc() string {
+	return "a field accessed via sync/atomic must never be read/written plainly elsewhere in the module"
+}
+
+// atomicTarget resolves the &operand of a sync/atomic call to the
+// variable object it addresses (struct field or package-level var).
+func atomicTarget(info *types.Info, arg ast.Expr) *types.Var {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	switch e := ast.Unparen(un.X).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		// Qualified package-level var: pkg.Var has no Selection.
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call is a function-style sync/atomic
+// operation (Add*, Load*, Store*, Swap*, CompareAndSwap*).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && pkgPathOf(fn) == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+func (r *AtomicMixRule) Check(m *Module) []Diagnostic {
+	// Pass 1: every variable addressed by a sync/atomic call, with one
+	// example position; and the operand subtrees themselves, so pass 2
+	// does not re-flag the atomic accesses.
+	atomicVars := map[*types.Var]token.Pos{}
+	atomicOperand := map[ast.Node]bool{}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(p.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					if v := atomicTarget(p.Info, arg); v != nil {
+						if _, seen := atomicVars[v]; !seen {
+							atomicVars[v] = arg.Pos()
+						}
+						atomicOperand[arg] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other use of those variables is a plain access.
+	var out []Diagnostic
+	report := func(pos token.Pos, v *types.Var) {
+		first := m.Fset.Position(atomicVars[v])
+		out = append(out, Diagnostic{
+			Pos:  m.Fset.Position(pos),
+			Rule: "atomic-mix",
+			Message: fmt.Sprintf("%s is accessed with sync/atomic (e.g. %s:%d) but read/written plainly here; use atomic ops everywhere or a typed atomic",
+				v.Name(), shortPath(first.Filename), first.Line),
+		})
+	}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if atomicOperand[n] {
+					return false // the atomic access itself
+				}
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					if sel, ok := p.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+						if v, ok := sel.Obj().(*types.Var); ok {
+							if _, hot := atomicVars[v]; hot {
+								report(e.Sel.Pos(), v)
+								return false
+							}
+						}
+					}
+					if v, ok := p.Info.Uses[e.Sel].(*types.Var); ok {
+						if _, hot := atomicVars[v]; hot {
+							report(e.Sel.Pos(), v)
+							return false
+						}
+					}
+				case *ast.Ident:
+					if v, ok := p.Info.Uses[e].(*types.Var); ok {
+						if _, hot := atomicVars[v]; hot {
+							report(e.Pos(), v)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// shortPath trims a filename to its last two path segments for
+// compact cross-file references in messages.
+func shortPath(path string) string {
+	slash := 0
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			slash++
+			if slash == 2 {
+				return path[i+1:]
+			}
+		}
+	}
+	return path
+}

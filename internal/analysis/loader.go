@@ -42,7 +42,9 @@ type Module struct {
 	Pkgs []*Package
 
 	hotpath           map[*ast.FuncDecl]*Package
-	allows            []allowRange
+	allows            map[string][]allowRange
+	acquires          map[*ast.FuncDecl]string
+	releases          map[*ast.FuncDecl][]string
 	directiveProblems []Diagnostic
 }
 
@@ -136,7 +138,13 @@ func (l *Loader) LoadModule() (*Module, error) {
 // without buildable Go sources are skipped) and returns them as a
 // Module. Paths may be absolute or relative to the module root.
 func (l *Loader) LoadDirs(dirs ...string) (*Module, error) {
-	m := &Module{Path: l.ModulePath, Dir: l.Dir, Fset: l.fset, hotpath: map[*ast.FuncDecl]*Package{}}
+	m := &Module{
+		Path: l.ModulePath, Dir: l.Dir, Fset: l.fset,
+		hotpath:  map[*ast.FuncDecl]*Package{},
+		allows:   map[string][]allowRange{},
+		acquires: map[*ast.FuncDecl]string{},
+		releases: map[*ast.FuncDecl][]string{},
+	}
 	seen := map[string]bool{}
 	for _, dir := range dirs {
 		if !filepath.IsAbs(dir) {
@@ -167,11 +175,7 @@ func (l *Loader) LoadDirs(dirs ...string) (*Module, error) {
 		m.Pkgs = append(m.Pkgs, pkg.analysis)
 	}
 	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
-	for _, p := range m.Pkgs {
-		for _, f := range p.Files {
-			m.collectDirectives(p, f)
-		}
-	}
+	m.collectDirectives()
 	return m, nil
 }
 

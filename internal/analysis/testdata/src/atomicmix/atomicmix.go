@@ -1,0 +1,54 @@
+// Package atomicmix exercises the atomic-mix rule: a field or
+// variable accessed through function-style sync/atomic anywhere must
+// never be read or written plainly elsewhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64 // accessed atomically AND plainly: every plain use flagged
+	misses int64 // only ever atomic: clean
+	local  int64 // only ever plain: clean
+	typed  atomic.Int64
+}
+
+var total uint64 // package-level, mixed
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 1)
+	atomic.AddUint64(&total, 1)
+}
+
+func (c *counters) readAtomic() int64 {
+	return atomic.LoadInt64(&c.hits) + atomic.LoadInt64(&c.misses)
+}
+
+func (c *counters) plainRead() int64 {
+	return c.hits // want "read/written plainly"
+}
+
+func (c *counters) plainWrite() {
+	c.hits = 0 // want "read/written plainly"
+}
+
+func (c *counters) cleanPlain() int64 {
+	c.local++
+	return c.local
+}
+
+func (c *counters) typedAtomic() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+func readTotal() uint64 {
+	return total // want "read/written plainly"
+}
+
+// resetForTest is init-time code that runs before any goroutine
+// starts, so the plain store is safe.
+func (c *counters) resetForTest() {
+	//chirp:allow atomic-mix runs before any goroutine starts
+	c.hits = 0
+}

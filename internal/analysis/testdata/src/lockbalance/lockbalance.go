@@ -1,0 +1,165 @@
+// Package lockbalance exercises the lock-balance dataflow rule:
+// Lock/Unlock pairing across branches, defers, and blocking
+// operations performed while a lock is held.
+package lockbalance
+
+import "sync"
+
+type guarded struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int
+	ch  chan int
+	wg  sync.WaitGroup
+	out chan int
+}
+
+// balanced locks and unlocks on the single path.
+func (g *guarded) balanced() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// deferred releases via defer; every return path is covered.
+func (g *guarded) deferred(flag bool) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if flag {
+		return g.n
+	}
+	return 0
+}
+
+// branchLeak unlocks on one branch only.
+func (g *guarded) branchLeak(flag bool) int {
+	g.mu.Lock()
+	if flag {
+		g.mu.Unlock()
+		return g.n
+	}
+	return g.n // want "return while g.mu is still held"
+}
+
+// fallOffEnd never unlocks at all.
+func (g *guarded) fallOffEnd() {
+	g.mu.Lock()
+	g.n++
+} // want "function ends while g.mu is still held"
+
+// bothBranches unlocks on every branch.
+func (g *guarded) bothBranches(flag bool) {
+	g.mu.Lock()
+	if flag {
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+}
+
+// sendWhileLocked performs a channel send with the mutex held.
+func (g *guarded) sendWhileLocked(v int) {
+	g.mu.Lock()
+	g.ch <- v // want "g.mu is held across a channel send"
+	g.mu.Unlock()
+}
+
+// recvWhileLocked performs a channel receive with the mutex held.
+func (g *guarded) recvWhileLocked() int {
+	g.mu.Lock()
+	v := <-g.ch // want "g.mu is held across a channel receive"
+	g.mu.Unlock()
+	return v
+}
+
+// recvAfterUnlock is the fixed version: release first.
+func (g *guarded) recvAfterUnlock() int {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	return <-g.ch
+}
+
+// selectWhileLocked blocks in a default-less select with the lock.
+func (g *guarded) selectWhileLocked() {
+	g.mu.Lock()
+	select { // want "g.mu is held across a select with no default"
+	case v := <-g.ch:
+		g.n = v
+	case g.out <- g.n:
+	}
+	g.mu.Unlock()
+}
+
+// selectWithDefault never blocks: allowed while holding the lock.
+func (g *guarded) selectWithDefault() {
+	g.mu.Lock()
+	select {
+	case v := <-g.ch:
+		g.n = v
+	default:
+	}
+	g.mu.Unlock()
+}
+
+// waitWhileLocked blocks on a WaitGroup with the lock held.
+func (g *guarded) waitWhileLocked() {
+	g.mu.Lock()
+	g.wg.Wait() // want "g.mu is held across sync.Wait"
+	g.mu.Unlock()
+}
+
+// rangeChanWhileLocked iterates a channel with the lock held.
+func (g *guarded) rangeChanWhileLocked() {
+	g.mu.Lock()
+	for v := range g.ch { // want "g.mu is held across a range over a channel"
+		g.n += v
+	}
+	g.mu.Unlock()
+}
+
+// readLockLeak forgets RUnlock on the early return.
+func (g *guarded) readLockLeak(flag bool) int {
+	g.rw.RLock()
+	if flag {
+		return g.n // want "return while g.rw .read lock. is still held"
+	}
+	g.rw.RUnlock()
+	return 0
+}
+
+// separateLocks tracks two mutexes independently.
+func (g *guarded) separateLocks(other *sync.Mutex) {
+	other.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	other.Unlock()
+}
+
+// loopBalanced locks and unlocks inside the loop body.
+func (g *guarded) loopBalanced(n int) {
+	for i := 0; i < n; i++ {
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+}
+
+// deferredInClosure releases through a deferred function literal.
+func (g *guarded) deferredInClosure() {
+	g.mu.Lock()
+	defer func() {
+		g.n++
+		g.mu.Unlock()
+	}()
+	g.n++
+}
+
+// handoff intentionally returns with the lock held; the caller
+// releases it.
+//
+//chirp:allow lock-balance the caller owns the unlock by contract
+func (g *guarded) handoff() {
+	g.mu.Lock()
+	g.n++
+}

@@ -1,0 +1,30 @@
+// Directive-hygiene cases for the pairing grammar. The want comments
+// sit on their own lines (applying to the line above) because trailing
+// text would change how the directives parse.
+package pairlife
+
+//chirp:acquires
+// want "takes exactly one token"
+
+//chirp:acquires Two Tokens
+// want "takes exactly one token"
+
+//chirp:releases UPPER
+// want "takes exactly one token"
+
+//chirp:acquires floating
+// want "must appear in a function's doc comment"
+
+var notAFunc = 0
+
+// doubleAcquire declares two acquire tokens; only one is allowed.
+//
+//chirp:acquires first
+//chirp:acquires second
+func doubleAcquire() {} // want "duplicate //chirp:acquires"
+
+// multiRelease releases two resource kinds; repetition is legal here.
+//
+//chirp:releases widget
+//chirp:releases handle
+func multiRelease(r *res, done func()) {}

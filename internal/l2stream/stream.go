@@ -599,6 +599,8 @@ func (s *Stream) Persistent() bool { return s.persistent }
 // release runs, so a long replay cannot lose the file mid-pass. It
 // fails once Close has already run, which is the one clean error a
 // replay racing a cache shutdown should see.
+//
+//chirp:acquires spillref
 func (s *Stream) RetainSpill() (string, func(), error) {
 	if s.spillPath == "" {
 		return "", nil, fmt.Errorf("l2stream: RetainSpill on an in-memory stream")
@@ -614,6 +616,8 @@ func (s *Stream) RetainSpill() (string, func(), error) {
 
 // releaseSpill drops one spill reference, deleting the file if Close
 // already ran and this was the last reader.
+//
+//chirp:releases spillref
 func (s *Stream) releaseSpill() {
 	s.spillMu.Lock()
 	s.spillRefs--

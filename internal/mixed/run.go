@@ -71,10 +71,12 @@ func Run(w *workloads.Workload, p Policy, instructions uint64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer l1i.Release()
 	l1d, err := tlb.New(tlb.Config{Name: "L1D", Entries: 64, Ways: 8, PageShift: 12}, policy.NewLRU())
 	if err != nil {
 		return Result{}, err
 	}
+	defer l1d.Release()
 	l2, err := New(1024, 8, p)
 	if err != nil {
 		return Result{}, err

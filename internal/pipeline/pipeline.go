@@ -122,10 +122,13 @@ func New(cfg Config, l2Policy tlb.Policy, l1Factory func() tlb.Policy) (*Machine
 	}
 	l1d, err := tlb.New(cfg.L1DTLB, l1Factory())
 	if err != nil {
+		l1i.Release()
 		return nil, err
 	}
 	l2, err := tlb.New(cfg.L2TLB, l2Policy)
 	if err != nil {
+		l1i.Release()
+		l1d.Release()
 		return nil, err
 	}
 	space := paging.NewSpace(cfg.Alloc, 1)

@@ -62,14 +62,17 @@ func RunConsolidated(ws []*workloads.Workload, l2p tlb.Policy, cfg ConsolidatedC
 	if err != nil {
 		return ConsolidatedResult{}, err
 	}
+	defer l1i.Release()
 	l1d, err := tlb.New(cfg.Hierarchy.L1D, policy.NewLRU())
 	if err != nil {
 		return ConsolidatedResult{}, err
 	}
+	defer l1d.Release()
 	l2, err := tlb.New(cfg.Hierarchy.L2, l2p)
 	if err != nil {
 		return ConsolidatedResult{}, err
 	}
+	defer l2.Release()
 	bo, hasBO := l2p.(tlb.BranchObserver)
 
 	sources := make([]trace.Source, len(ws))

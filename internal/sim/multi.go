@@ -175,6 +175,8 @@ func replayOne(stream *l2stream.Stream, rv *replayView, p tlb.Policy, cfg TLBOnl
 // finishReplay closes out one policy's replayed TLB: accounting flush,
 // metric publication, result assembly — the same epilogue as the solo
 // replay, off the hot path.
+//
+//chirp:releases tlbarrays
 func finishReplay(stream *l2stream.Stream, p tlb.Policy, t *tlb.TLB, warm tlb.Stats) TLBOnlyResult {
 	t.FlushAccounting()
 	publishRun(p, t)

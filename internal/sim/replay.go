@@ -80,6 +80,7 @@ func ReplayTLBOnly(stream *l2stream.Stream, l2p tlb.Policy, cfg TLBOnlyConfig) (
 	if err != nil {
 		return TLBOnlyResult{}, err
 	}
+	defer l2.Release()
 	bo, observesBranches := l2p.(tlb.BranchObserver)
 
 	var pf *stridePrefetcher
@@ -107,9 +108,7 @@ func ReplayTLBOnly(stream *l2stream.Stream, l2p tlb.Policy, cfg TLBOnlyConfig) (
 
 	l2.FlushAccounting()
 	publishRun(l2p, l2)
-	res := replayResult(stream, l2p, l2, warmStats)
-	l2.Release()
-	return res, nil
+	return replayResult(stream, l2p, l2, warmStats), nil
 }
 
 // replayResult assembles a replayed policy's result from its finished

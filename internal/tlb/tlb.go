@@ -258,6 +258,8 @@ var arrayPool sync.Pool
 
 // New builds a TLB with the given geometry and policy. The policy is
 // attached (metadata sized) before New returns.
+//
+//chirp:acquires tlbarrays
 func New(cfg Config, p Policy) (*TLB, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -307,6 +309,8 @@ func New(cfg Config, p Policy) (*TLB, error) {
 // future New to reuse. The TLB must not be touched afterwards. Calling
 // it is optional — a TLB that simply goes out of scope just forgoes
 // the reuse — and replay drivers call it once results are extracted.
+//
+//chirp:releases tlbarrays
 func (t *TLB) Release() {
 	if t.entries == nil {
 		return
